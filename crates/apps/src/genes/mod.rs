@@ -1,0 +1,22 @@
+//! Gene-expression analysis (Section VI-B of the paper).
+//!
+//! The paper evaluates on three gene-regulatory datasets: Sachs (11
+//! genes), E. coli (1565) and Yeast (4441), reporting
+//! FDR/TPR/FPR/SHD/F1/AUC-ROC for LEAST vs NOTEARS. We do not have the
+//! GeneNetWeaver data dumps, so (per the substitution policy):
+//!
+//! * [`sachs`] hard-codes the published Sachs et al. consensus signalling
+//!   network (11 nodes / 17 edges — the same ground truth the bnlearn
+//!   repository distributes) and simulates expression samples from it;
+//! * [`simulator`] generates regulatory networks at matched node/edge
+//!   counts with transcription-factor hub structure (GeneNetWeaver-style
+//!   modular scale-free topology) and steady-state-like expression data;
+//! * [`experiment`] runs both solvers and produces the paper's table rows.
+
+pub mod experiment;
+pub mod sachs;
+pub mod simulator;
+
+pub use experiment::{run_gene_experiment, GeneExperimentResult, GeneSolver};
+pub use sachs::{sachs_network, SACHS_GENES};
+pub use simulator::GeneNetSimulator;

@@ -1,0 +1,83 @@
+//! The Sachs et al. (2005) protein-signalling network: the standard
+//! 11-node / 17-edge consensus ground truth used by the paper (via the
+//! bnlearn repository, its reference \[29\]).
+
+use least_graph::DiGraph;
+
+/// The 11 measured phosphoproteins/phospholipids, in conventional order.
+pub const SACHS_GENES: [&str; 11] = [
+    "Raf", "Mek", "Plcg", "PIP2", "PIP3", "Erk", "Akt", "PKA", "PKC", "P38", "Jnk",
+];
+
+/// Index of a gene name in [`SACHS_GENES`].
+fn idx(name: &str) -> usize {
+    SACHS_GENES
+        .iter()
+        .position(|&g| g == name)
+        .unwrap_or_else(|| panic!("unknown Sachs gene {name}"))
+}
+
+/// The consensus edge list (17 directed edges).
+pub fn sachs_edges() -> Vec<(usize, usize)> {
+    [
+        ("PKC", "Raf"),
+        ("PKC", "Mek"),
+        ("PKC", "Jnk"),
+        ("PKC", "P38"),
+        ("PKC", "PKA"),
+        ("PKA", "Raf"),
+        ("PKA", "Mek"),
+        ("PKA", "Erk"),
+        ("PKA", "Akt"),
+        ("PKA", "Jnk"),
+        ("PKA", "P38"),
+        ("Raf", "Mek"),
+        ("Mek", "Erk"),
+        ("Erk", "Akt"),
+        ("Plcg", "PIP2"),
+        ("Plcg", "PIP3"),
+        ("PIP3", "PIP2"),
+    ]
+    .iter()
+    .map(|&(u, v)| (idx(u), idx(v)))
+    .collect()
+}
+
+/// The consensus network as a graph.
+pub fn sachs_network() -> DiGraph {
+    DiGraph::from_edges(SACHS_GENES.len(), &sachs_edges())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_11_nodes_and_17_edges() {
+        let g = sachs_network();
+        assert_eq!(g.node_count(), 11);
+        assert_eq!(g.edge_count(), 17);
+    }
+
+    #[test]
+    fn is_a_dag() {
+        assert!(sachs_network().is_dag());
+    }
+
+    #[test]
+    fn known_pathway_edges_present() {
+        let g = sachs_network();
+        // The canonical Raf -> Mek -> Erk cascade.
+        assert!(g.has_edge(idx("Raf"), idx("Mek")));
+        assert!(g.has_edge(idx("Mek"), idx("Erk")));
+        // PKC and PKA are the upstream hubs.
+        assert_eq!(g.out_degrees()[idx("PKC")], 5);
+        assert_eq!(g.out_degrees()[idx("PKA")], 6);
+    }
+
+    #[test]
+    fn gene_names_unique() {
+        let set: std::collections::HashSet<_> = SACHS_GENES.iter().collect();
+        assert_eq!(set.len(), 11);
+    }
+}

@@ -1,0 +1,529 @@
+//! Booking-log simulator: the stand-in for Fliggy's production logs.
+//!
+//! Each booking attempt passes through the paper's four steps — seat
+//! availability, price confirmation, reservation, payment — and is tagged
+//! with the categorical attributes the paper lists (airline, fare source,
+//! agent, departure/arrival city). Anomalies are injected as conditional
+//! error-rate boosts scoped to attribute combinations ("fare sources 3, 9,
+//! 16 through airline AC"), each labelled with its ground-truth category so
+//! the evaluation harness can score reports the way the paper's Fig. 7
+//! does against expert-verified incidents.
+
+use least_linalg::Xoshiro256pp;
+
+/// The categorical schema of the booking system.
+#[derive(Debug, Clone)]
+pub struct BookingSchema {
+    /// Number of airlines (paper example codes: AC, SL, MU, ...).
+    pub airlines: usize,
+    /// Number of fare sources (booking channels).
+    pub fare_sources: usize,
+    /// Number of travel agents.
+    pub agents: usize,
+    /// Number of cities (used for both departure and arrival roles).
+    pub cities: usize,
+}
+
+impl Default for BookingSchema {
+    fn default() -> Self {
+        Self { airlines: 8, fare_sources: 10, agents: 6, cities: 10 }
+    }
+}
+
+/// Booking process steps whose failures are monitored (the four error-type
+/// nodes of the paper).
+pub const NUM_STEPS: usize = 4;
+
+impl BookingSchema {
+    /// Total number of BN variables: one indicator per attribute value plus
+    /// the four error-step nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.airlines + self.fare_sources + self.agents + 2 * self.cities + NUM_STEPS
+    }
+
+    /// Node index of airline `a`.
+    pub fn airline_node(&self, a: usize) -> usize {
+        debug_assert!(a < self.airlines);
+        a
+    }
+
+    /// Node index of fare source `f`.
+    pub fn fare_source_node(&self, f: usize) -> usize {
+        debug_assert!(f < self.fare_sources);
+        self.airlines + f
+    }
+
+    /// Node index of agent `g`.
+    pub fn agent_node(&self, g: usize) -> usize {
+        debug_assert!(g < self.agents);
+        self.airlines + self.fare_sources + g
+    }
+
+    /// Node index of departure city `c`.
+    pub fn departure_node(&self, c: usize) -> usize {
+        debug_assert!(c < self.cities);
+        self.airlines + self.fare_sources + self.agents + c
+    }
+
+    /// Node index of arrival city `c`.
+    pub fn arrival_node(&self, c: usize) -> usize {
+        debug_assert!(c < self.cities);
+        self.airlines + self.fare_sources + self.agents + self.cities + c
+    }
+
+    /// Node index of the error indicator for booking step `s` (0-based).
+    pub fn error_node(&self, s: usize) -> usize {
+        debug_assert!(s < NUM_STEPS);
+        self.airlines + self.fare_sources + self.agents + 2 * self.cities + s
+    }
+
+    /// All nodes of the one-hot attribute group containing `node`
+    /// (airlines, fare sources, agents, departure cities, arrival cities).
+    /// Returns an empty vector for error nodes: they form no group.
+    ///
+    /// Needed because one-hot indicators are collinear within a group
+    /// (`SL = 1 − AC − MU − ...`), so a structure learner may express
+    /// "airline matters for this error" through *any* subset of the group;
+    /// the detector therefore tests every sibling value and lets the
+    /// significance test pick the culprit.
+    pub fn group_members(&self, node: usize) -> Vec<usize> {
+        let ranges = [
+            (0, self.airlines),
+            (self.airlines, self.airlines + self.fare_sources),
+            (self.airlines + self.fare_sources, self.airlines + self.fare_sources + self.agents),
+            (
+                self.airlines + self.fare_sources + self.agents,
+                self.airlines + self.fare_sources + self.agents + self.cities,
+            ),
+            (
+                self.airlines + self.fare_sources + self.agents + self.cities,
+                self.airlines + self.fare_sources + self.agents + 2 * self.cities,
+            ),
+        ];
+        for (lo, hi) in ranges {
+            if (lo..hi).contains(&node) {
+                return (lo..hi).collect();
+            }
+        }
+        Vec::new()
+    }
+
+    /// Human-readable node name (used in reports and the Fig. 6 output).
+    pub fn node_name(&self, node: usize) -> String {
+        let mut n = node;
+        if n < self.airlines {
+            return format!("Airline-{}", airline_code(n));
+        }
+        n -= self.airlines;
+        if n < self.fare_sources {
+            return format!("FareSource-{n}");
+        }
+        n -= self.fare_sources;
+        if n < self.agents {
+            return format!("Agent-{n}");
+        }
+        n -= self.agents;
+        if n < self.cities {
+            return format!("DepCity-{}", city_code(n));
+        }
+        n -= self.cities;
+        if n < self.cities {
+            return format!("ArrCity-{}", city_code(n));
+        }
+        n -= self.cities;
+        format!("Error-Step{}", n + 1)
+    }
+}
+
+/// Two-letter airline codes in the style of the paper's examples.
+fn airline_code(i: usize) -> &'static str {
+    const CODES: [&str; 16] = [
+        "AC", "SL", "MU", "CA", "CZ", "HU", "3U", "MF", "BA", "AF", "LH", "NH", "KE", "SQ",
+        "EK", "QF",
+    ];
+    CODES[i % CODES.len()]
+}
+
+/// Three-letter city codes in the style of the paper's examples.
+fn city_code(i: usize) -> &'static str {
+    const CODES: [&str; 16] = [
+        "WUH", "BKK", "SEL", "PEK", "SHA", "CAN", "SZX", "HGH", "NRT", "SIN", "LAX", "SYD",
+        "CDG", "FRA", "DXB", "HKG",
+    ];
+    CODES[i % CODES.len()]
+}
+
+/// One booking attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BookingRecord {
+    /// Airline index.
+    pub airline: usize,
+    /// Fare-source index.
+    pub fare_source: usize,
+    /// Agent index.
+    pub agent: usize,
+    /// Departure city index.
+    pub departure: usize,
+    /// Arrival city index.
+    pub arrival: usize,
+    /// Which step failed, if any (`None` = successful booking).
+    pub failed_step: Option<usize>,
+}
+
+/// Ground-truth root-cause category, matching the paper's Fig. 7 taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AnomalyCategory {
+    /// Problems with external systems (42% of the paper's incidents).
+    ExternalSystem,
+    /// Airline-side issues (3%).
+    Airline,
+    /// Travel-agent issues (10%).
+    TravelAgent,
+    /// Intermediary interface issues, e.g. Amadeus/Travelsky (3%).
+    Intermediary,
+    /// Real but unexplainable events — weather, route adjustments (39%).
+    Unpredictable,
+}
+
+impl AnomalyCategory {
+    /// Display label used in the Fig. 7 style breakdown.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AnomalyCategory::ExternalSystem => "external systems",
+            AnomalyCategory::Airline => "airline",
+            AnomalyCategory::TravelAgent => "travel agent",
+            AnomalyCategory::Intermediary => "intermediary interfaces",
+            AnomalyCategory::Unpredictable => "unpredictable events",
+        }
+    }
+
+    /// The paper's observed production proportions (Fig. 7), used by the
+    /// simulator to draw incident mixes.
+    pub fn paper_mix() -> [(AnomalyCategory, f64); 5] {
+        [
+            (AnomalyCategory::ExternalSystem, 0.42),
+            (AnomalyCategory::Airline, 0.03),
+            (AnomalyCategory::TravelAgent, 0.10),
+            (AnomalyCategory::Intermediary, 0.03),
+            (AnomalyCategory::Unpredictable, 0.39),
+        ]
+    }
+}
+
+/// An injected incident: bookings matching `scope` fail step `step` with
+/// probability boosted to `error_rate`.
+#[derive(Debug, Clone)]
+pub struct AnomalySpec {
+    /// Ground-truth category.
+    pub category: AnomalyCategory,
+    /// Booking step that fails (0-based).
+    pub step: usize,
+    /// Attribute scope; `None` = any value.
+    pub airline: Option<usize>,
+    /// Scoped fare sources (empty = any).
+    pub fare_sources: Vec<usize>,
+    /// Scoped agent.
+    pub agent: Option<usize>,
+    /// Scoped arrival city.
+    pub arrival: Option<usize>,
+    /// Error probability for matching bookings (baseline is ~1–2%).
+    pub error_rate: f64,
+}
+
+impl AnomalySpec {
+    fn matches(&self, r: &BookingRecord) -> bool {
+        self.airline.is_none_or(|a| r.airline == a)
+            && (self.fare_sources.is_empty() || self.fare_sources.contains(&r.fare_source))
+            && self.agent.is_none_or(|g| r.agent == g)
+            && self.arrival.is_none_or(|c| r.arrival == c)
+    }
+
+    /// The ground-truth root-cause node chain for this incident, ending at
+    /// the error node — comparable to the "identified anomaly path" column
+    /// of the paper's Table II.
+    pub fn truth_path(&self, schema: &BookingSchema) -> Vec<usize> {
+        let mut path = Vec::new();
+        if let Some(g) = self.agent {
+            path.push(schema.agent_node(g));
+        }
+        if let Some(a) = self.airline {
+            path.push(schema.airline_node(a));
+        }
+        if let Some(&f) = self.fare_sources.first() {
+            // Representative fare source (the path needs one exemplar).
+            path.push(schema.fare_source_node(f));
+        }
+        if let Some(c) = self.arrival {
+            path.push(schema.arrival_node(c));
+        }
+        path.push(schema.error_node(self.step));
+        path
+    }
+}
+
+/// One window of logs: the records plus the anomalies active while they
+/// were generated.
+#[derive(Debug, Clone)]
+pub struct BookingLog {
+    /// The records of this window.
+    pub records: Vec<BookingRecord>,
+    /// Anomalies active in this window (ground truth for evaluation).
+    pub active_anomalies: Vec<AnomalySpec>,
+}
+
+/// Generates booking windows with a stable baseline and optional injected
+/// incidents.
+#[derive(Debug, Clone)]
+pub struct BookingSimulator {
+    /// Categorical schema.
+    pub schema: BookingSchema,
+    /// Baseline per-step error probability.
+    pub base_error_rate: f64,
+    rng: Xoshiro256pp,
+}
+
+impl BookingSimulator {
+    /// New simulator with the given seed.
+    pub fn new(schema: BookingSchema, seed: u64) -> Self {
+        Self { schema, base_error_rate: 0.015, rng: Xoshiro256pp::new(seed) }
+    }
+
+    /// Generate one window of `n` bookings under the given incidents.
+    pub fn window(&mut self, n: usize, anomalies: &[AnomalySpec]) -> BookingLog {
+        let mut records = Vec::with_capacity(n);
+        for _ in 0..n {
+            // Mildly skewed categorical draws: low-index values are more
+            // popular, mimicking real marketplace concentration.
+            let record = BookingRecord {
+                airline: self.skewed(self.schema.airlines),
+                fare_source: self.skewed(self.schema.fare_sources),
+                agent: self.skewed(self.schema.agents),
+                departure: self.skewed(self.schema.cities),
+                arrival: self.skewed(self.schema.cities),
+                failed_step: None,
+            };
+            let mut record = record;
+            // Injected incidents first (stronger signal), then baseline.
+            let mut failed = None;
+            for spec in anomalies {
+                if spec.matches(&record) && self.rng.bernoulli(spec.error_rate) {
+                    failed = Some(spec.step);
+                    break;
+                }
+            }
+            if failed.is_none() {
+                for step in 0..NUM_STEPS {
+                    if self.rng.bernoulli(self.base_error_rate / NUM_STEPS as f64) {
+                        failed = Some(step);
+                        break;
+                    }
+                }
+            }
+            record.failed_step = failed;
+            records.push(record);
+        }
+        BookingLog { records, active_anomalies: anomalies.to_vec() }
+    }
+
+    /// Draw a random incident from the paper's category mix (Fig. 7),
+    /// scoped to random attribute values.
+    pub fn random_anomaly(&mut self) -> AnomalySpec {
+        let mix = AnomalyCategory::paper_mix();
+        let weights: Vec<f64> = mix.iter().map(|&(_, w)| w).collect();
+        let category = mix[self.rng.choose_weighted(&weights)].0;
+        let step = self.rng.next_below(NUM_STEPS);
+        let error_rate = self.rng.uniform(0.35, 0.75);
+        
+        match category {
+            AnomalyCategory::ExternalSystem => AnomalySpec {
+                category,
+                step,
+                airline: Some(self.rng.next_below(self.schema.airlines)),
+                fare_sources: {
+                    let k = 1 + self.rng.next_below(3);
+                    self.rng.sample_indices(self.schema.fare_sources, k)
+                },
+                agent: None,
+                arrival: None,
+                error_rate,
+            },
+            AnomalyCategory::Airline => AnomalySpec {
+                category,
+                step,
+                airline: Some(self.rng.next_below(self.schema.airlines)),
+                fare_sources: Vec::new(),
+                agent: None,
+                arrival: None,
+                error_rate,
+            },
+            AnomalyCategory::TravelAgent => AnomalySpec {
+                category,
+                step,
+                airline: None,
+                fare_sources: Vec::new(),
+                agent: Some(self.rng.next_below(self.schema.agents)),
+                arrival: None,
+                error_rate,
+            },
+            AnomalyCategory::Intermediary => AnomalySpec {
+                category,
+                step,
+                airline: Some(self.rng.next_below(self.schema.airlines)),
+                fare_sources: vec![self.rng.next_below(self.schema.fare_sources)],
+                agent: Some(self.rng.next_below(self.schema.agents)),
+                arrival: None,
+                error_rate,
+            },
+            AnomalyCategory::Unpredictable => AnomalySpec {
+                category,
+                step,
+                airline: None,
+                fare_sources: Vec::new(),
+                agent: None,
+                arrival: Some(self.rng.next_below(self.schema.cities)),
+                error_rate,
+            },
+        }
+    }
+
+    /// Bernoulli draw from the simulator's own RNG stream, so multi-window
+    /// studies stay reproducible from a single seed.
+    pub fn bernoulli_draw(&mut self, p: f64) -> bool {
+        self.rng.bernoulli(p)
+    }
+
+    /// Popularity-skewed categorical draw over `0..n`.
+    fn skewed(&mut self, n: usize) -> usize {
+        // Geometric-ish preference for low indices, truncated at n.
+        let mut i = 0;
+        while i + 1 < n && self.rng.bernoulli(0.65) {
+            i += 1;
+            if self.rng.bernoulli(0.5) {
+                break;
+            }
+        }
+        // Mix with uniform mass so every value occurs.
+        if self.rng.bernoulli(0.5) {
+            self.rng.next_below(n)
+        } else {
+            i
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_node_indexing_is_disjoint_and_complete() {
+        let s = BookingSchema::default();
+        let mut seen = std::collections::HashSet::new();
+        for a in 0..s.airlines {
+            assert!(seen.insert(s.airline_node(a)));
+        }
+        for f in 0..s.fare_sources {
+            assert!(seen.insert(s.fare_source_node(f)));
+        }
+        for g in 0..s.agents {
+            assert!(seen.insert(s.agent_node(g)));
+        }
+        for c in 0..s.cities {
+            assert!(seen.insert(s.departure_node(c)));
+            assert!(seen.insert(s.arrival_node(c)));
+        }
+        for e in 0..NUM_STEPS {
+            assert!(seen.insert(s.error_node(e)));
+        }
+        assert_eq!(seen.len(), s.num_nodes());
+        assert_eq!(*seen.iter().max().unwrap(), s.num_nodes() - 1);
+    }
+
+    #[test]
+    fn node_names_are_descriptive() {
+        let s = BookingSchema::default();
+        assert_eq!(s.node_name(s.airline_node(0)), "Airline-AC");
+        assert!(s.node_name(s.error_node(2)).contains("Step3"));
+        assert!(s.node_name(s.arrival_node(1)).starts_with("ArrCity-"));
+    }
+
+    #[test]
+    fn baseline_error_rate_is_low() {
+        let mut sim = BookingSimulator::new(BookingSchema::default(), 701);
+        let log = sim.window(20_000, &[]);
+        let errors = log.records.iter().filter(|r| r.failed_step.is_some()).count();
+        let rate = errors as f64 / log.records.len() as f64;
+        assert!((0.005..0.03).contains(&rate), "baseline rate {rate}");
+    }
+
+    #[test]
+    fn injected_anomaly_raises_scoped_error_rate() {
+        let mut sim = BookingSimulator::new(BookingSchema::default(), 702);
+        let spec = AnomalySpec {
+            category: AnomalyCategory::Airline,
+            step: 2,
+            airline: Some(3),
+            fare_sources: Vec::new(),
+            agent: None,
+            arrival: None,
+            error_rate: 0.6,
+        };
+        let log = sim.window(30_000, std::slice::from_ref(&spec));
+        let (mut hit, mut tot) = (0usize, 0usize);
+        let (mut hit_other, mut tot_other) = (0usize, 0usize);
+        for r in &log.records {
+            if r.airline == 3 {
+                tot += 1;
+                if r.failed_step == Some(2) {
+                    hit += 1;
+                }
+            } else {
+                tot_other += 1;
+                if r.failed_step == Some(2) {
+                    hit_other += 1;
+                }
+            }
+        }
+        let scoped = hit as f64 / tot as f64;
+        let unscoped = hit_other as f64 / tot_other as f64;
+        assert!(scoped > 0.4, "scoped rate {scoped}");
+        assert!(unscoped < 0.05, "unscoped rate {unscoped}");
+    }
+
+    #[test]
+    fn truth_path_ends_at_error_node() {
+        let s = BookingSchema::default();
+        let spec = AnomalySpec {
+            category: AnomalyCategory::ExternalSystem,
+            step: 1,
+            airline: Some(0),
+            fare_sources: vec![4],
+            agent: None,
+            arrival: None,
+            error_rate: 0.5,
+        };
+        let path = spec.truth_path(&s);
+        assert_eq!(*path.last().unwrap(), s.error_node(1));
+        assert!(path.contains(&s.airline_node(0)));
+        assert!(path.contains(&s.fare_source_node(4)));
+    }
+
+    #[test]
+    fn random_anomalies_cover_categories() {
+        let mut sim = BookingSimulator::new(BookingSchema::default(), 703);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(sim.random_anomaly().category);
+        }
+        assert!(seen.len() >= 4, "only {} categories seen", seen.len());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = BookingSimulator::new(BookingSchema::default(), 704);
+        let mut b = BookingSimulator::new(BookingSchema::default(), 704);
+        let la = a.window(100, &[]);
+        let lb = b.window(100, &[]);
+        assert_eq!(la.records, lb.records);
+    }
+}

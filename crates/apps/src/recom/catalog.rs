@@ -1,0 +1,264 @@
+//! Synthetic movie catalog with a ground-truth item-influence DAG.
+//!
+//! Structure mirrors what the paper observed in the learned MovieLens
+//! graph:
+//!
+//! * **franchises** — sequels point at their originals with strong
+//!   positive weights (Table IV: "Shrek 2 → Shrek", "Toy Story 2 →
+//!   Toy Story");
+//! * **blockbusters** — universally-watched movies collect *incoming*
+//!   edges and emit none ("Star Wars: Episode V: no outgoing, 68
+//!   incoming");
+//! * **niche films** — specialized-taste markers with *outgoing* edges
+//!   toward the mainstream ("The New Land: no incoming, 221 outgoing").
+
+use least_graph::DiGraph;
+use least_linalg::{Coo, CsrMatrix, Xoshiro256pp};
+
+/// What role a movie plays in the influence structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MovieKind {
+    /// Member of a named franchise; `series` groups them, `episode` orders
+    /// them (0 = original).
+    Franchise {
+        /// Franchise id.
+        series: usize,
+        /// Position within the franchise (0 = original film).
+        episode: usize,
+    },
+    /// Widely watched hub: gathers incoming influence.
+    Blockbuster,
+    /// Specialized-taste film: emits outgoing influence.
+    Niche,
+    /// Ordinary catalog filler.
+    Regular,
+}
+
+/// A movie entry.
+#[derive(Debug, Clone)]
+pub struct Movie {
+    /// Display title.
+    pub title: String,
+    /// Structural role.
+    pub kind: MovieKind,
+}
+
+/// The catalog plus its ground-truth influence matrix.
+#[derive(Debug, Clone)]
+pub struct Catalog {
+    /// Movies, index = node id.
+    pub movies: Vec<Movie>,
+    /// Ground-truth influence weights (`w[i, j] ≠ 0`: rating of `i`
+    /// influences rating of `j`).
+    pub influence: CsrMatrix,
+}
+
+/// Real franchise names used for the named portion of the catalog, so the
+/// Table IV reproduction reads like the paper's.
+const FRANCHISES: [(&str, &str); 8] = [
+    ("Shrek (2001)", "Shrek 2 (2004)"),
+    ("Toy Story (1995)", "Toy Story 2 (1999)"),
+    ("Harry Potter and the Sorcerer's Stone (2001)", "Harry Potter and the Chamber of Secrets (2002)"),
+    ("Star Wars: Episode IV (1977)", "Star Wars: Episode V (1980)"),
+    ("Raiders of the Lost Ark (1981)", "Indiana Jones and the Last Crusade (1989)"),
+    ("Spider-Man (2002)", "Spider-Man 2 (2004)"),
+    ("The Matrix (1999)", "The Matrix Reloaded (2003)"),
+    ("Lord of the Rings: The Fellowship (2001)", "Lord of the Rings: The Two Towers (2002)"),
+];
+
+const BLOCKBUSTERS: [&str; 4] = [
+    "Casablanca (1942)",
+    "Braveheart (1995)",
+    "Jurassic Park (1993)",
+    "Pulp Fiction (1994)",
+];
+
+const NICHE: [&str; 4] = [
+    "The New Land (1972)",
+    "Sátántangó (1994)",
+    "Man with a Movie Camera (1929)",
+    "Jeanne Dielman (1975)",
+];
+
+impl Catalog {
+    /// Build a catalog with the 8 named franchises, 4 blockbusters, 4 niche
+    /// films and enough regular filler to reach `total` movies.
+    ///
+    /// Influence edges (all weights positive, echoing Table IV where
+    /// same-series links dominate the top of the list):
+    /// * sequel → original, weight ~0.6–0.9 (strong);
+    /// * niche → each blockbuster, weight ~0.2–0.4;
+    /// * regular → one random blockbuster, weight ~0.1–0.3 (builds the
+    ///   hub in-degree the paper observed);
+    /// * sparse regular → regular edges for background structure.
+    pub fn generate(total: usize, rng: &mut Xoshiro256pp) -> Self {
+        let named = FRANCHISES.len() * 2 + BLOCKBUSTERS.len() + NICHE.len();
+        assert!(total >= named + 10, "catalog too small: need > {named} movies");
+        let mut movies = Vec::with_capacity(total);
+        for (series, (original, sequel)) in FRANCHISES.iter().enumerate() {
+            movies.push(Movie {
+                title: (*original).into(),
+                kind: MovieKind::Franchise { series, episode: 0 },
+            });
+            movies.push(Movie {
+                title: (*sequel).into(),
+                kind: MovieKind::Franchise { series, episode: 1 },
+            });
+        }
+        for title in BLOCKBUSTERS {
+            movies.push(Movie { title: title.into(), kind: MovieKind::Blockbuster });
+        }
+        for title in NICHE {
+            movies.push(Movie { title: title.into(), kind: MovieKind::Niche });
+        }
+        for i in movies.len()..total {
+            movies.push(Movie { title: format!("Movie #{i}"), kind: MovieKind::Regular });
+        }
+
+        let blockbuster_ids: Vec<usize> = movies
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.kind == MovieKind::Blockbuster)
+            .map(|(i, _)| i)
+            .collect();
+        let mut coo = Coo::new(total, total);
+        for (i, movie) in movies.iter().enumerate() {
+            match movie.kind {
+                MovieKind::Franchise { series, episode: 1 } => {
+                    // sequel -> original (the originals were pushed first).
+                    let original = movies
+                        .iter()
+                        .position(|m| {
+                            m.kind == MovieKind::Franchise { series, episode: 0 }
+                        })
+                        .expect("original exists");
+                    coo.push(i, original, rng.uniform(0.6, 0.9)).expect("in bounds");
+                }
+                MovieKind::Niche => {
+                    for &b in &blockbuster_ids {
+                        coo.push(i, b, rng.uniform(0.2, 0.4)).expect("in bounds");
+                    }
+                }
+                MovieKind::Regular => {
+                    let b = *rng.choose(&blockbuster_ids);
+                    coo.push(i, b, rng.uniform(0.1, 0.3)).expect("in bounds");
+                    // Background regular -> regular edge, oriented from
+                    // higher to lower index to stay acyclic.
+                    if i > 0 && rng.bernoulli(0.3) {
+                        let j = rng.next_below(i);
+                        if matches!(movies[j].kind, MovieKind::Regular) {
+                            coo.push(i, j, rng.uniform(0.1, 0.25)).expect("in bounds");
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        Self { movies, influence: coo.to_csr() }
+    }
+
+    /// Number of movies.
+    pub fn len(&self) -> usize {
+        self.movies.len()
+    }
+
+    /// True when the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.movies.is_empty()
+    }
+
+    /// Title of movie `i`.
+    pub fn title(&self, i: usize) -> &str {
+        &self.movies[i].title
+    }
+
+    /// The ground-truth influence structure as a graph.
+    pub fn truth_graph(&self) -> DiGraph {
+        DiGraph::from_csr(&self.influence, 0.0)
+    }
+
+    /// The Table IV style "remark" for an edge, derived from ground truth.
+    pub fn remark(&self, from: usize, to: usize) -> &'static str {
+        match (self.movies[from].kind, self.movies[to].kind) {
+            (
+                MovieKind::Franchise { series: a, .. },
+                MovieKind::Franchise { series: b, .. },
+            ) if a == b => "same series",
+            (MovieKind::Niche, MovieKind::Blockbuster) => "niche taste marker",
+            (_, MovieKind::Blockbuster) => "toward blockbuster hub",
+            _ => "background",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> Catalog {
+        Catalog::generate(60, &mut Xoshiro256pp::new(741))
+    }
+
+    #[test]
+    fn structure_counts() {
+        let c = catalog();
+        assert_eq!(c.len(), 60);
+        let franchise = c
+            .movies
+            .iter()
+            .filter(|m| matches!(m.kind, MovieKind::Franchise { .. }))
+            .count();
+        assert_eq!(franchise, 16);
+    }
+
+    #[test]
+    fn truth_graph_is_dag() {
+        assert!(catalog().truth_graph().is_dag());
+    }
+
+    #[test]
+    fn sequels_point_to_originals() {
+        let c = catalog();
+        // Shrek 2 (index 1) -> Shrek (index 0).
+        assert_eq!(c.title(0), "Shrek (2001)");
+        assert_eq!(c.title(1), "Shrek 2 (2004)");
+        let w = c.influence.get(1, 0);
+        assert!((0.6..=0.9).contains(&w), "weight {w}");
+        assert_eq!(c.remark(1, 0), "same series");
+    }
+
+    #[test]
+    fn blockbusters_have_high_in_degree_no_out() {
+        let c = catalog();
+        let g = c.truth_graph();
+        let in_deg = g.in_degrees();
+        let out_deg = g.out_degrees();
+        for (i, m) in c.movies.iter().enumerate() {
+            if m.kind == MovieKind::Blockbuster {
+                assert!(in_deg[i] >= 5, "{} in-degree {}", m.title, in_deg[i]);
+                assert_eq!(out_deg[i], 0, "{} has outgoing edges", m.title);
+            }
+        }
+    }
+
+    #[test]
+    fn niche_films_have_out_only() {
+        let c = catalog();
+        let g = c.truth_graph();
+        let in_deg = g.in_degrees();
+        let out_deg = g.out_degrees();
+        for (i, m) in c.movies.iter().enumerate() {
+            if m.kind == MovieKind::Niche {
+                assert_eq!(in_deg[i], 0, "{} has incoming edges", m.title);
+                assert!(out_deg[i] >= 4, "{} out-degree {}", m.title, out_deg[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Catalog::generate(50, &mut Xoshiro256pp::new(5));
+        let b = Catalog::generate(50, &mut Xoshiro256pp::new(5));
+        assert!(a.influence.approx_eq(&b.influence, 0.0));
+    }
+}

@@ -1,0 +1,115 @@
+//! Rating-matrix generation over a movie catalog.
+//!
+//! Each user is one LSEM sample over the catalog's influence DAG: rating
+//! deviations propagate from influencers to influenced titles, plus
+//! per-movie noise and a per-user mean offset (some users rate everything
+//! high). The paper's preprocessing — "we subtract each user's mean rating
+//! from their ratings" — is applied by [`RatingsSimulator::dataset`], so
+//! the offset must wash out, exactly the invariant the tests check.
+
+use crate::recom::catalog::Catalog;
+use least_data::{sample_lsem_sparse, Dataset, NoiseModel};
+use least_linalg::{Result, Xoshiro256pp};
+
+/// Generates mean-centered rating datasets for a catalog.
+#[derive(Debug, Clone)]
+pub struct RatingsSimulator {
+    /// Per-movie idiosyncratic noise std-dev.
+    pub noise_std: f64,
+    /// Std-dev of the per-user mean offset.
+    pub user_offset_std: f64,
+}
+
+impl Default for RatingsSimulator {
+    fn default() -> Self {
+        Self { noise_std: 0.8, user_offset_std: 0.7 }
+    }
+}
+
+impl RatingsSimulator {
+    /// Generate `users` rating rows over the catalog, already row-centered
+    /// (each user's mean subtracted, as in the paper's preprocessing).
+    pub fn dataset(&self, catalog: &Catalog, users: usize, seed: u64) -> Result<Dataset> {
+        let mut rng = Xoshiro256pp::new(seed);
+        let mut x = sample_lsem_sparse(
+            &catalog.influence,
+            users,
+            NoiseModel::Gaussian { std_dev: self.noise_std },
+            &mut rng,
+        )?;
+        // Add the per-user generosity offset the paper's preprocessing
+        // removes; keeping it in the generator proves centering matters.
+        for u in 0..users {
+            let offset = rng.gaussian_with(0.0, self.user_offset_std);
+            for v in x.row_mut(u) {
+                *v += offset;
+            }
+        }
+        let mut data = Dataset::new(x);
+        data.center_rows();
+        Ok(data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use least_linalg::vecops;
+
+    fn setup() -> (Catalog, Dataset) {
+        let catalog = Catalog::generate(60, &mut Xoshiro256pp::new(751));
+        let data = RatingsSimulator::default().dataset(&catalog, 400, 752).unwrap();
+        (catalog, data)
+    }
+
+    #[test]
+    fn shapes_and_row_centering() {
+        let (catalog, data) = setup();
+        assert_eq!(data.num_samples(), 400);
+        assert_eq!(data.num_vars(), catalog.len());
+        for row in data.matrix().rows_iter() {
+            let mean: f64 = row.iter().sum::<f64>() / row.len() as f64;
+            assert!(mean.abs() < 1e-10, "row mean {mean}");
+        }
+    }
+
+    #[test]
+    fn sequel_ratings_correlate_with_original() {
+        let (_, data) = setup();
+        // Shrek 2 (node 1) influences Shrek (node 0) with weight 0.6–0.9:
+        // their centered ratings must correlate strongly.
+        let col0 = data.matrix().col(0);
+        let col1 = data.matrix().col(1);
+        let corr = vecops::pearson(&col0, &col1).unwrap();
+        assert!(corr > 0.25, "franchise correlation {corr}");
+    }
+
+    #[test]
+    fn unrelated_movies_weakly_correlated() {
+        let (catalog, data) = setup();
+        // Two niche films influence disjoint targets... actually they share
+        // blockbuster targets; compare a niche film against a late regular
+        // filler instead.
+        let niche = catalog
+            .movies
+            .iter()
+            .position(|m| m.kind == crate::recom::MovieKind::Niche)
+            .unwrap();
+        let filler = catalog.len() - 1;
+        let corr = vecops::pearson(
+            &data.matrix().col(niche),
+            &data.matrix().col(filler),
+        )
+        .unwrap()
+        .abs();
+        assert!(corr < 0.3, "spurious correlation {corr}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let catalog = Catalog::generate(40, &mut Xoshiro256pp::new(753));
+        let a = RatingsSimulator::default().dataset(&catalog, 50, 7).unwrap();
+        let b = RatingsSimulator::default().dataset(&catalog, 50, 7).unwrap();
+        assert!(a.matrix().approx_eq(b.matrix(), 0.0));
+    }
+}

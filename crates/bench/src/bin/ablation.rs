@@ -1,0 +1,159 @@
+//! Ablations over LEAST's design choices (not in the paper's evaluation,
+//! but called out in DESIGN.md): the bound depth `k`, the balance factor
+//! `α`, the in-loop threshold `θ`, and the batch size `B`.
+//!
+//! Expected shapes: accuracy saturates by k ≈ 5 (the paper's setting);
+//! α near the boundary degrades the bound; θ = 0 triggers the
+//! uniform-shrinkage failure mode (documented in `least_core::config`);
+//! small batches trade accuracy for per-iteration cost.
+
+use least_bench::benchmark_instance;
+use least_bench::report::{fmt, heading, Table};
+use least_core::{LeastConfig, LeastDense};
+use least_data::NoiseModel;
+use least_graph::GraphModel;
+use least_metrics::{best_threshold, grid::paper_tau_grid};
+use std::time::Instant;
+
+fn base_config(seed: u64) -> LeastConfig {
+    let mut cfg = LeastConfig {
+        lambda: 0.05,
+        epsilon: 1e-6,
+        theta: 0.05,
+        max_outer: 10,
+        max_inner: 400,
+        track_h: true,
+        seed,
+        ..Default::default()
+    };
+    cfg.adam.learning_rate = 0.02;
+    cfg
+}
+
+fn run(cfg: LeastConfig, label: String, table: &mut Table) {
+    let inst = benchmark_instance(
+        GraphModel::ErdosRenyi { avg_degree: 2 },
+        NoiseModel::standard_gaussian(),
+        50,
+        500,
+        cfg.seed,
+    )
+    .expect("instance");
+    let start = Instant::now();
+    let result = LeastDense::new(cfg).expect("config").fit(&inst.data).expect("fit");
+    let secs = start.elapsed().as_secs_f64();
+    let (pts, best) = best_threshold(&inst.truth, &result.weights, &paper_tau_grid());
+    table.row(vec![
+        label,
+        fmt(pts[best].metrics.f1),
+        pts[best].shd.to_string(),
+        fmt(result.final_constraint),
+        result
+            .trace
+            .delta_h_correlation()
+            .map(fmt)
+            .unwrap_or_else(|| "n/a".into()),
+        fmt(secs),
+    ]);
+}
+
+fn main() {
+    let seed = 0xF160_AB1A;
+    println!("ablation: ER-2 Gaussian d=50 n=500 seed={seed:#x}");
+    let header = ["setting", "F1", "SHD", "final δ̄∨h", "corr(δ̄,h)", "time (s)"];
+
+    heading("Ablation: bound depth k (paper uses 5)");
+    let mut t = Table::new(&header);
+    for k in [1usize, 2, 3, 5, 8, 12] {
+        run(LeastConfig { k, ..base_config(seed) }, format!("k={k}"), &mut t);
+    }
+    t.print();
+
+    heading("Ablation: balance factor α (paper uses 0.9)");
+    let mut t = Table::new(&header);
+    for alpha in [0.1, 0.3, 0.5, 0.7, 0.9, 0.99] {
+        run(LeastConfig { alpha, ..base_config(seed) }, format!("α={alpha}"), &mut t);
+    }
+    t.print();
+
+    heading("Ablation: in-loop threshold θ (0 triggers uniform shrinkage)");
+    let mut t = Table::new(&header);
+    for theta in [0.0, 0.01, 0.02, 0.05, 0.1] {
+        run(LeastConfig { theta, ..base_config(seed) }, format!("θ={theta}"), &mut t);
+    }
+    t.print();
+
+    heading("Ablation: batch size B (None = full batch via Gram matrix)");
+    let mut t = Table::new(&header);
+    for (label, batch) in [
+        ("B=n (Gram)", None),
+        ("B=256", Some(256usize)),
+        ("B=64", Some(64)),
+    ] {
+        run(
+            LeastConfig { batch_size: batch, ..base_config(seed) },
+            label.to_string(),
+            &mut t,
+        );
+    }
+    t.print();
+
+    // Three generations of acyclicity constraint (Fig. 1 of the paper) on
+    // identical solver machinery.
+    heading("Ablation: constraint generation (spectral bound vs expm vs NO-BEARS radius)");
+    let mut t = Table::new(&header);
+    for (label, constraint) in [
+        ("LEAST δ̄ (k=5, α=0.9)", ConstraintKind::Spectral),
+        ("NOTEARS tr(e^S)−d", ConstraintKind::Expm),
+        ("NO-BEARS ρ(S)", ConstraintKind::Radius),
+    ] {
+        run_with_constraint(base_config(seed), constraint, label.to_string(), &mut t);
+    }
+    t.print();
+}
+
+#[derive(Clone, Copy)]
+enum ConstraintKind {
+    Spectral,
+    Expm,
+    Radius,
+}
+
+fn run_with_constraint(
+    cfg: LeastConfig,
+    kind: ConstraintKind,
+    label: String,
+    table: &mut Table,
+) {
+    use least_core::Acyclicity;
+    let inst = benchmark_instance(
+        GraphModel::ErdosRenyi { avg_degree: 2 },
+        NoiseModel::standard_gaussian(),
+        50,
+        500,
+        cfg.seed,
+    )
+    .expect("instance");
+    let solver = LeastDense::new(cfg).expect("config");
+    let start = Instant::now();
+    let constraint: Box<dyn Acyclicity> = match kind {
+        ConstraintKind::Spectral => Box::new(least_core::SpectralBound::default()),
+        ConstraintKind::Expm => Box::new(least_notears::ExpAcyclicity),
+        ConstraintKind::Radius => Box::new(least_notears::RadiusAcyclicity::default()),
+    };
+    let result = solver.fit_with_constraint(&inst.data, constraint.as_ref()).expect("fit");
+    let secs = start.elapsed().as_secs_f64();
+    let (pts, best) = best_threshold(&inst.truth, &result.weights, &paper_tau_grid());
+    table.row(vec![
+        label,
+        fmt(pts[best].metrics.f1),
+        pts[best].shd.to_string(),
+        fmt(result.final_constraint),
+        result
+            .trace
+            .delta_h_correlation()
+            .map(fmt)
+            .unwrap_or_else(|| "n/a".into()),
+        fmt(secs),
+    ]);
+}

@@ -1,0 +1,30 @@
+//! # least-bench
+//!
+//! Benchmark harness: one runnable target per table and figure of the
+//! paper's evaluation (Section V) and application study (Section VI).
+//!
+//! | Paper artifact | Target |
+//! |---|---|
+//! | Fig. 4 rows 1-3 (F1 / SHD / corr(δ̄,h) vs d) | `cargo run --release -p least-bench --bin fig4_accuracy` |
+//! | Fig. 4 row 4 (wall time vs d) | `... --bin fig4_time` |
+//! | Fig. 5 + large-dataset property table | `... --bin fig5_scalability` |
+//! | Gene table (Sachs / E. coli / Yeast) | `... --bin table_genes` |
+//! | Fig. 6 + Fig. 7 + Table II (monitoring) | `... --bin fig7_monitor` |
+//! | Table IV + Fig. 8 (MovieLens case study) | `... --bin table_movielens` |
+//! | Design-choice ablations (k, α, θ, B) | `... --bin ablation` |
+//! | Constraint micro-costs (δ̄ vs h vs g) | `cargo bench -p least-bench` |
+//!
+//! Every binary prints its seeds and parameters, accepts `--full` for
+//! paper-scale sweeps (the defaults are laptop-scale; EXPERIMENTS.md
+//! records the scale-downs), and writes aligned tables to stdout.
+
+pub mod report;
+pub mod workloads;
+
+pub use report::Table;
+pub use workloads::{benchmark_instance, BenchInstance};
+
+/// True when `--full` was passed: run at (closer to) paper scale.
+pub fn full_scale() -> bool {
+    std::env::args().any(|a| a == "--full")
+}

@@ -1,0 +1,128 @@
+//! Aligned-table output for the benchmark binaries.
+//!
+//! Tables print through one locked, buffered stdout writer (see the
+//! perf-book guidance on repeated `println!`) and render as
+//! markdown-compatible pipe tables so EXPERIMENTS.md can embed output
+//! verbatim.
+
+use std::io::Write;
+
+/// A simple column-aligned table builder.
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as a markdown pipe table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (cell, &w) in cells.iter().zip(widths) {
+                line.push_str(&format!(" {cell:<w$} |"));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('|');
+        for &w in widths.iter().take(cols) {
+            out.push_str(&format!("{:-<1$}|", "", w + 2));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Print through a locked, buffered stdout handle.
+    pub fn print(&self) {
+        let stdout = std::io::stdout();
+        let mut lock = std::io::BufWriter::new(stdout.lock());
+        lock.write_all(self.render().as_bytes()).expect("stdout write");
+        lock.flush().expect("stdout flush");
+    }
+}
+
+/// Print a section heading.
+pub fn heading(title: &str) {
+    println!("\n== {title} ==\n");
+}
+
+/// Format a float compactly (3 significant-ish decimals, scientific for
+/// tiny magnitudes).
+pub fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() < 1e-3 || v.abs() >= 1e6 {
+        format!("{v:.2e}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(vec!["alpha".into(), "1".into()]);
+        t.row(vec!["b".into(), "22222".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("| name"));
+        assert!(lines[1].starts_with("|---"));
+        // All lines equal width.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        Table::new(&["a", "b"]).row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn fmt_ranges() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(0.5), "0.500");
+        assert!(fmt(1e-9).contains('e'));
+        assert!(fmt(2e7).contains('e'));
+    }
+}

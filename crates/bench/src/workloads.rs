@@ -1,0 +1,82 @@
+//! Shared workload construction for the benchmark binaries: the paper's
+//! Section V-A protocol (random graph → random weights → LSEM samples).
+
+use least_data::{sample_lsem, Dataset, NoiseModel};
+use least_graph::{weighted_adjacency_dense, DiGraph, GraphModel, WeightRange};
+use least_linalg::{DenseMatrix, Result, Xoshiro256pp};
+
+/// One benchmark problem instance.
+#[derive(Debug, Clone)]
+pub struct BenchInstance {
+    /// Ground-truth structure.
+    pub truth: DiGraph,
+    /// Ground-truth weights.
+    pub weights: DenseMatrix,
+    /// LSEM samples (`n × d`).
+    pub data: Dataset,
+    /// The seed it was built from.
+    pub seed: u64,
+}
+
+/// Build an instance per the paper: graph from `model`, weights uniform
+/// `±[0.5, 2]`, `n` samples with the given noise.
+pub fn benchmark_instance(
+    model: GraphModel,
+    noise: NoiseModel,
+    d: usize,
+    n: usize,
+    seed: u64,
+) -> Result<BenchInstance> {
+    let mut rng = Xoshiro256pp::new(seed);
+    let truth = model.sample(d, &mut rng);
+    let weights = weighted_adjacency_dense(&truth, WeightRange::default(), &mut rng);
+    let x = sample_lsem(&weights, n, noise, &mut rng)?;
+    Ok(BenchInstance { truth, weights, data: Dataset::new(x), seed })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instance_matches_protocol() {
+        let inst = benchmark_instance(
+            GraphModel::ErdosRenyi { avg_degree: 2 },
+            NoiseModel::standard_gaussian(),
+            30,
+            300,
+            9,
+        )
+        .unwrap();
+        assert!(inst.truth.is_dag());
+        assert_eq!(inst.data.num_samples(), 300);
+        assert_eq!(inst.data.num_vars(), 30);
+        // Weights on edges only, magnitudes in [0.5, 2].
+        for (u, v) in inst.truth.edges() {
+            let w = inst.weights[(u, v)].abs();
+            assert!((0.5..=2.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = benchmark_instance(
+            GraphModel::ScaleFree { avg_degree: 4 },
+            NoiseModel::standard_gumbel(),
+            20,
+            50,
+            11,
+        )
+        .unwrap();
+        let b = benchmark_instance(
+            GraphModel::ScaleFree { avg_degree: 4 },
+            NoiseModel::standard_gumbel(),
+            20,
+            50,
+            11,
+        )
+        .unwrap();
+        assert!(a.weights.approx_eq(&b.weights, 0.0));
+        assert!(a.data.matrix().approx_eq(b.data.matrix(), 0.0));
+    }
+}

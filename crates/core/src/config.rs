@@ -1,0 +1,174 @@
+//! Solver configuration: the tunables of Fig. 3 of the paper
+//! (`X, ζ, λ, ε, k, α, B, θ, T_o, T_i`) plus implementation knobs.
+
+use least_optim::{AdamConfig, AugLagConfig};
+
+/// Configuration shared by [`crate::LeastDense`] and [`crate::LeastSparse`].
+#[derive(Debug, Clone, Copy)]
+pub struct LeastConfig {
+    /// Bound refinement steps `k` (paper: 5).
+    pub k: usize,
+    /// Balance factor `α ∈ (0,1)` (paper: 0.9).
+    pub alpha: f64,
+    /// L1 regularization weight `λ` (paper benchmark setting: 0.5 on
+    /// standardized benchmark data; applications tune it).
+    pub lambda: f64,
+    /// Constraint tolerance `ε` (paper grid-searches 1e-1..1e-4 on the
+    /// benchmarks and uses 1e-8 at scale).
+    pub epsilon: f64,
+    /// Initialization density `ζ` (paper: 1e-4 for LEAST-SP; the dense
+    /// solver defaults to full Glorot init, `None`).
+    pub init_density: Option<f64>,
+    /// Mini-batch size `B`; `None` = full batch (the paper sets `B = n` on
+    /// benchmarks and `B = 1000` at scale).
+    pub batch_size: Option<usize>,
+    /// In-loop filtering threshold `θ` (paper: 0 on benchmarks, 1e-3 at
+    /// scale; our default 0.05 — see [`LeastConfig::paper_benchmark`]).
+    ///
+    /// θ > 0 is what lets the spectral bound reach *exactly* zero on a
+    /// DAG-supported `W`: thresholding creates exact zeros, which lets the
+    /// bound's source/sink peeling engage. Without it the augmented
+    /// Lagrangian can only satisfy `δ̄ ≤ ε` by shrinking all of `W`
+    /// uniformly, destroying the fit (observed experimentally; the paper's
+    /// θ = 0 benchmark protocol compensates with a loose-ε grid search).
+    pub theta: f64,
+    /// Maximum outer rounds `T_o`.
+    pub max_outer: usize,
+    /// Maximum inner iterations `T_i` per round (paper: 200).
+    pub max_inner: usize,
+    /// Early-exit the inner loop when the relative objective change stays
+    /// below this for [`Self::inner_patience`] consecutive iterations.
+    pub inner_tol: f64,
+    /// Consecutive quiet iterations required to exit the inner loop early.
+    pub inner_patience: usize,
+    /// Adam settings (paper: learning rate 0.01).
+    pub adam: AdamConfig,
+    /// Penalty growth factor for `ρ` per outer round.
+    pub rho_growth: f64,
+    /// Track `h(W)` alongside `δ̄(W)` each round (costs an SCC pass /
+    /// matrix exponential; needed for Fig. 4 row 3 and Fig. 5 outputs and
+    /// for the paper-faithful termination check).
+    pub track_h: bool,
+    /// Also require `h(W) ≤ ε` to declare convergence, matching the
+    /// modified termination the paper uses for its benchmark comparison
+    /// ("we also compute the value of h(W) and terminate when h(W) is
+    /// smaller than the tolerance value ε"). Implies `track_h`.
+    pub terminate_on_h: bool,
+    /// PRNG seed (initialization and batching).
+    pub seed: u64,
+}
+
+impl Default for LeastConfig {
+    fn default() -> Self {
+        Self {
+            k: 5,
+            alpha: 0.9,
+            lambda: 0.1,
+            epsilon: 1e-8,
+            init_density: None,
+            batch_size: None,
+            theta: 0.05,
+            max_outer: 20,
+            max_inner: 200,
+            inner_tol: 1e-6,
+            inner_patience: 5,
+            adam: AdamConfig::default(),
+            rho_growth: 10.0,
+            track_h: false,
+            terminate_on_h: false,
+            seed: 0xBEA5,
+        }
+    }
+}
+
+impl LeastConfig {
+    /// The paper's artificial-benchmark configuration (Section V-A):
+    /// `B = n` (full batch), `λ = 0.5`, h-checked termination.
+    ///
+    /// Deviation: the paper sets `θ = 0` here and relies on a grid search
+    /// over loose tolerances `ε ∈ {1e-1..1e-4}` to stop before uniform
+    /// shrinkage sets in; we keep a small positive `θ` instead, which
+    /// reaches `δ̄ = 0` exactly (via bound peeling) at a tight ε in a
+    /// single run. Same post-filter τ grid either way.
+    pub fn paper_benchmark() -> Self {
+        Self {
+            lambda: 0.5,
+            theta: 0.05,
+            batch_size: None,
+            track_h: true,
+            terminate_on_h: true,
+            epsilon: 1e-4,
+            ..Self::default()
+        }
+    }
+
+    /// The paper's large-scale configuration (Section V-B): `B = 1000`,
+    /// `θ = 1e-3`, `ζ = 1e-4`, `ε = 1e-8`.
+    pub fn paper_large_scale() -> Self {
+        Self {
+            batch_size: Some(1000),
+            theta: 1e-3,
+            init_density: Some(1e-4),
+            epsilon: 1e-8,
+            track_h: true,
+            ..Self::default()
+        }
+    }
+
+    /// Derived augmented-Lagrangian config.
+    pub fn auglag(&self) -> AugLagConfig {
+        AugLagConfig {
+            rho_init: 1.0,
+            eta_init: 1.0,
+            rho_growth: self.rho_growth,
+            rho_max: 1e16,
+            tolerance: self.epsilon,
+            max_outer: self.max_outer,
+        }
+    }
+
+    /// Whether `h` must be evaluated each round.
+    pub fn needs_h(&self) -> bool {
+        self.track_h || self.terminate_on_h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_core_settings() {
+        let c = LeastConfig::default();
+        assert_eq!(c.k, 5);
+        assert_eq!(c.alpha, 0.9);
+        assert_eq!(c.adam.learning_rate, 0.01);
+    }
+
+    #[test]
+    fn paper_benchmark_profile() {
+        let c = LeastConfig::paper_benchmark();
+        assert!(c.terminate_on_h);
+        assert!(c.needs_h());
+        assert_eq!(c.lambda, 0.5);
+        assert!(c.theta > 0.0, "theta must be positive for bound peeling");
+        assert!(c.batch_size.is_none());
+    }
+
+    #[test]
+    fn paper_large_scale_profile() {
+        let c = LeastConfig::paper_large_scale();
+        assert_eq!(c.batch_size, Some(1000));
+        assert_eq!(c.theta, 1e-3);
+        assert_eq!(c.init_density, Some(1e-4));
+        assert_eq!(c.epsilon, 1e-8);
+    }
+
+    #[test]
+    fn auglag_inherits_tolerance() {
+        let c = LeastConfig { epsilon: 1e-5, max_outer: 7, ..Default::default() };
+        let a = c.auglag();
+        assert_eq!(a.tolerance, 1e-5);
+        assert_eq!(a.max_outer, 7);
+    }
+}

@@ -1,0 +1,18 @@
+//! # least-data
+//!
+//! Data substrate for the LEAST reproduction:
+//!
+//! * [`noise`] — the three additive-noise families of the paper's benchmark
+//!   protocol (Section V-A): Gaussian (GS), Exponential (EX), Gumbel (GB);
+//! * [`lsem`] — forward sampling of a linear structural equation model
+//!   `Xᵢ = wᵢᵀX + nᵢ` in topological order (exact, `O(n·nnz)`);
+//! * [`dataset`] — the sample-matrix container with standardization and the
+//!   mini-batching used by the solver's `INNER` procedure (Fig. 3 line 5).
+
+pub mod dataset;
+pub mod lsem;
+pub mod noise;
+
+pub use dataset::Dataset;
+pub use lsem::{sample_lsem, sample_lsem_sparse};
+pub use noise::NoiseModel;

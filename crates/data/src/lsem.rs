@@ -1,0 +1,187 @@
+//! Forward sampling of linear structural equation models.
+//!
+//! The paper's data model (Section II): `Xᵢ = wᵢᵀ X + nᵢ` where `wᵢ[j] ≠ 0`
+//! only when `Xⱼ` is a parent of `Xᵢ`, i.e. row-to-column convention
+//! `X = Xᵀ·W + n` per sample, or in matrix form `x = n (I − W)⁻¹`.
+//!
+//! Rather than inverting `(I − W)` we propagate values in topological order:
+//! `xᵥ = Σ_{u ∈ pa(v)} W[u, v]·x_u + n_v`, which is exact and `O(n · nnz)` —
+//! the only approach that scales to the 10⁵-node graphs of Section V-B.
+
+use crate::noise::NoiseModel;
+use least_linalg::{CsrMatrix, DenseMatrix, LinalgError, Xoshiro256pp};
+use least_graph::DiGraph;
+
+/// Sample `n` i.i.d. LSEM observations for a ground-truth weighted DAG given
+/// densely. Returns an `n × d` sample matrix.
+///
+/// Fails with [`LinalgError::InvalidArgument`] when `w` has a cycle (forward
+/// sampling requires a topological order).
+pub fn sample_lsem(
+    w: &DenseMatrix,
+    n: usize,
+    noise: NoiseModel,
+    rng: &mut Xoshiro256pp,
+) -> Result<DenseMatrix, LinalgError> {
+    let g = DiGraph::from_dense(w, 0.0);
+    let order = g
+        .topological_sort()
+        .ok_or_else(|| LinalgError::InvalidArgument("LSEM graph has a cycle".into()))?;
+    let d = w.rows();
+    // Parent lists per node: (parent, weight), prebuilt once.
+    let mut parents: Vec<Vec<(u32, f64)>> = vec![Vec::new(); d];
+    for (u, row) in w.rows_iter().enumerate() {
+        for (v, &weight) in row.iter().enumerate() {
+            if weight != 0.0 {
+                parents[v].push((u as u32, weight));
+            }
+        }
+    }
+    Ok(propagate(&order, &parents, d, n, noise, rng))
+}
+
+/// Sparse-weight variant of [`sample_lsem`] for large graphs.
+pub fn sample_lsem_sparse(
+    w: &CsrMatrix,
+    n: usize,
+    noise: NoiseModel,
+    rng: &mut Xoshiro256pp,
+) -> Result<DenseMatrix, LinalgError> {
+    let g = DiGraph::from_csr(w, 0.0);
+    let order = g
+        .topological_sort()
+        .ok_or_else(|| LinalgError::InvalidArgument("LSEM graph has a cycle".into()))?;
+    let d = w.rows();
+    let mut parents: Vec<Vec<(u32, f64)>> = vec![Vec::new(); d];
+    for (u, v, weight) in w.iter() {
+        parents[v].push((u as u32, weight));
+    }
+    Ok(propagate(&order, &parents, d, n, noise, rng))
+}
+
+fn propagate(
+    order: &[usize],
+    parents: &[Vec<(u32, f64)>],
+    d: usize,
+    n: usize,
+    noise: NoiseModel,
+    rng: &mut Xoshiro256pp,
+) -> DenseMatrix {
+    let mut x = DenseMatrix::zeros(n, d);
+    // Row-major layout: iterate samples outermost so each sample's row stays
+    // hot in cache while we walk the topological order.
+    for s in 0..n {
+        let row = x.row_mut(s);
+        for &v in order {
+            let mut val = noise.sample(rng);
+            for &(u, weight) in &parents[v] {
+                val += weight * row[u as usize];
+            }
+            row[v] = val;
+        }
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use least_graph::{weighted_adjacency_dense, WeightRange};
+
+    fn two_node_chain(weight: f64) -> DenseMatrix {
+        let mut w = DenseMatrix::zeros(2, 2);
+        w[(0, 1)] = weight;
+        w
+    }
+
+    #[test]
+    fn chain_propagates_signal() {
+        // X1 = 2·X0 + n1 with tiny noise: X1 ≈ 2·X0.
+        let w = two_node_chain(2.0);
+        let mut rng = Xoshiro256pp::new(71);
+        let x = sample_lsem(&w, 5000, NoiseModel::Gaussian { std_dev: 1e-3 }, &mut rng).unwrap();
+        for s in 0..x.rows() {
+            assert!((x[(s, 1)] - 2.0 * x[(s, 0)]).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn variance_accumulates_downstream() {
+        // Var(X1) = w²·Var(X0) + Var(n) = 4 + 1 = 5 for unit Gaussian noise.
+        let w = two_node_chain(2.0);
+        let mut rng = Xoshiro256pp::new(72);
+        let x = sample_lsem(&w, 100_000, NoiseModel::standard_gaussian(), &mut rng).unwrap();
+        let col1 = x.col(1);
+        let mean = col1.iter().sum::<f64>() / col1.len() as f64;
+        let var = col1.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / col1.len() as f64;
+        assert!((var - 5.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn root_nodes_have_pure_noise_distribution() {
+        let w = two_node_chain(2.0);
+        let mut rng = Xoshiro256pp::new(73);
+        let noise = NoiseModel::standard_exponential();
+        let x = sample_lsem(&w, 50_000, noise, &mut rng).unwrap();
+        let col0 = x.col(0);
+        let mean = col0.iter().sum::<f64>() / col0.len() as f64;
+        assert!((mean - noise.mean()).abs() < 0.02, "mean {mean}");
+        assert!(col0.iter().all(|&v| v >= 0.0), "exponential noise is nonnegative");
+    }
+
+    #[test]
+    fn cycle_is_rejected() {
+        let mut w = DenseMatrix::zeros(2, 2);
+        w[(0, 1)] = 1.0;
+        w[(1, 0)] = 1.0;
+        let mut rng = Xoshiro256pp::new(74);
+        assert!(sample_lsem(&w, 10, NoiseModel::standard_gaussian(), &mut rng).is_err());
+    }
+
+    #[test]
+    fn sparse_and_dense_agree() {
+        let mut rng = Xoshiro256pp::new(75);
+        let g = least_graph::erdos_renyi_dag(20, 2, &mut rng);
+        let w = weighted_adjacency_dense(&g, WeightRange::default(), &mut rng);
+        let ws = least_linalg::CsrMatrix::from_dense(&w, 0.0);
+        let x_dense =
+            sample_lsem(&w, 50, NoiseModel::standard_gaussian(), &mut Xoshiro256pp::new(7))
+                .unwrap();
+        let x_sparse =
+            sample_lsem_sparse(&ws, 50, NoiseModel::standard_gaussian(), &mut Xoshiro256pp::new(7))
+                .unwrap();
+        assert!(x_dense.approx_eq(&x_sparse, 1e-12));
+    }
+
+    #[test]
+    fn regression_recovers_edge_weight() {
+        // OLS slope of X1 on X0 must recover w ≈ 1.5 — the identifiability
+        // property that makes least-squares structure learning work at all.
+        let w = two_node_chain(1.5);
+        let mut rng = Xoshiro256pp::new(76);
+        let x = sample_lsem(&w, 20_000, NoiseModel::standard_gaussian(), &mut rng).unwrap();
+        let (x0, x1) = (x.col(0), x.col(1));
+        let sxx: f64 = x0.iter().map(|v| v * v).sum();
+        let sxy: f64 = x0.iter().zip(&x1).map(|(a, b)| a * b).sum();
+        let slope = sxy / sxx;
+        assert!((slope - 1.5).abs() < 0.05, "slope {slope}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let w = two_node_chain(1.0);
+        let a = sample_lsem(&w, 10, NoiseModel::standard_gumbel(), &mut Xoshiro256pp::new(5))
+            .unwrap();
+        let b = sample_lsem(&w, 10, NoiseModel::standard_gumbel(), &mut Xoshiro256pp::new(5))
+            .unwrap();
+        assert!(a.approx_eq(&b, 0.0));
+    }
+
+    #[test]
+    fn shapes() {
+        let w = two_node_chain(1.0);
+        let mut rng = Xoshiro256pp::new(77);
+        let x = sample_lsem(&w, 17, NoiseModel::standard_gaussian(), &mut rng).unwrap();
+        assert_eq!(x.shape(), (17, 2));
+    }
+}

@@ -1,0 +1,403 @@
+//! Adjacency-list directed graph with the queries the reproduction needs.
+
+use least_linalg::{CsrMatrix, DenseMatrix};
+use std::collections::VecDeque;
+
+/// Unweighted directed graph on nodes `0..n`.
+///
+/// Stored as forward adjacency lists (sorted, deduplicated on build).
+/// Weighted variants live in matrix form ([`least_linalg::DenseMatrix`] /
+/// [`least_linalg::CsrMatrix`]); this type answers the structural questions:
+/// acyclicity, ordering, reachability, paths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiGraph {
+    /// `adj[u]` = sorted out-neighbours of `u`.
+    adj: Vec<Vec<u32>>,
+    edge_count: usize,
+}
+
+impl DiGraph {
+    /// Empty graph with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Self { adj: vec![Vec::new(); n], edge_count: 0 }
+    }
+
+    /// Build from an edge list; duplicate edges are collapsed.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut g = Self::new(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g.normalize();
+        g
+    }
+
+    /// Build from any weighted adjacency matrix: edge `u → v` iff
+    /// `|W[u, v]| > tol`.
+    pub fn from_dense(w: &DenseMatrix, tol: f64) -> Self {
+        let mut g = Self::new(w.rows().max(w.cols()));
+        for (u, row) in w.rows_iter().enumerate() {
+            for (v, &x) in row.iter().enumerate() {
+                if x.abs() > tol {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        g.normalize();
+        g
+    }
+
+    /// Build from a sparse weighted adjacency matrix.
+    pub fn from_csr(w: &CsrMatrix, tol: f64) -> Self {
+        let mut g = Self::new(w.rows().max(w.cols()));
+        for (u, v, x) in w.iter() {
+            if x.abs() > tol {
+                g.add_edge(u, v);
+            }
+        }
+        g.normalize();
+        g
+    }
+
+    /// Add a single edge (callers batching many edges should call
+    /// [`Self::normalize`] afterwards; the `from_*` constructors do).
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u < self.adj.len() && v < self.adj.len(), "edge ({u},{v}) out of bounds");
+        self.adj[u].push(v as u32);
+        self.edge_count += 1;
+    }
+
+    /// Sort and deduplicate adjacency lists; fixes up the edge count.
+    pub fn normalize(&mut self) {
+        self.edge_count = 0;
+        for list in &mut self.adj {
+            list.sort_unstable();
+            list.dedup();
+            self.edge_count += list.len();
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of (deduplicated) edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Out-neighbours of `u`.
+    pub fn neighbors(&self, u: usize) -> &[u32] {
+        &self.adj[u]
+    }
+
+    /// True when edge `u → v` exists.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.adj[u].binary_search(&(v as u32)).is_ok()
+    }
+
+    /// Iterate over all edges as `(u, v)`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.adj
+            .iter()
+            .enumerate()
+            .flat_map(|(u, vs)| vs.iter().map(move |&v| (u, v as usize)))
+    }
+
+    /// In-degree of every node, `O(V + E)`.
+    pub fn in_degrees(&self) -> Vec<usize> {
+        let mut deg = vec![0; self.node_count()];
+        for (_, v) in self.edges() {
+            deg[v] += 1;
+        }
+        deg
+    }
+
+    /// Out-degree of every node.
+    pub fn out_degrees(&self) -> Vec<usize> {
+        self.adj.iter().map(Vec::len).collect()
+    }
+
+    /// Kahn's algorithm. Returns a topological order when the graph is a
+    /// DAG, `None` when it contains a cycle.
+    pub fn topological_sort(&self) -> Option<Vec<usize>> {
+        let n = self.node_count();
+        let mut in_deg = self.in_degrees();
+        let mut queue: VecDeque<usize> =
+            (0..n).filter(|&v| in_deg[v] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for &v in self.neighbors(u) {
+                in_deg[v as usize] -= 1;
+                if in_deg[v as usize] == 0 {
+                    queue.push_back(v as usize);
+                }
+            }
+        }
+        (order.len() == n).then_some(order)
+    }
+
+    /// True when the graph has no directed cycles.
+    pub fn is_dag(&self) -> bool {
+        self.topological_sort().is_some()
+    }
+
+    /// Set of nodes reachable from `start` (excluding `start` itself unless
+    /// it lies on a cycle back to itself).
+    pub fn reachable_from(&self, start: usize) -> Vec<bool> {
+        let mut seen = vec![false; self.node_count()];
+        let mut stack = vec![start];
+        let mut first = true;
+        while let Some(u) = stack.pop() {
+            for &v in self.neighbors(u) {
+                let v = v as usize;
+                if !seen[v] {
+                    seen[v] = true;
+                    stack.push(v);
+                }
+            }
+            if first {
+                first = false;
+            }
+        }
+        seen
+    }
+
+    /// Reverse graph (every edge flipped).
+    pub fn reversed(&self) -> Self {
+        let mut g = Self::new(self.node_count());
+        for (u, v) in self.edges() {
+            g.add_edge(v, u);
+        }
+        g.normalize();
+        g
+    }
+
+    /// All simple paths that *end* at `target`, found by walking incoming
+    /// edges backwards until sources (nodes with no parents) are reached.
+    ///
+    /// This is the root-cause primitive of the paper's monitoring system
+    /// (Section VI-A): "for each node X of the four error types, we inspect
+    /// all paths P whose destination is X ... until we reach a node with no
+    /// parents". Paths are returned source-first (so `path.last()` is
+    /// `target` and `path\[0\]` is the candidate root cause). Search is capped
+    /// at `max_paths` paths and `max_len` nodes per path to bound work on
+    /// pathological graphs.
+    pub fn paths_into(&self, target: usize, max_paths: usize, max_len: usize) -> Vec<Vec<usize>> {
+        let rev = self.reversed();
+        let mut out = Vec::new();
+        // DFS over the reversed graph from `target`.
+        let mut path = vec![target];
+        let mut on_path = vec![false; self.node_count()];
+        on_path[target] = true;
+        self.paths_dfs(&rev, &mut path, &mut on_path, &mut out, max_paths, max_len);
+        for p in &mut out {
+            p.reverse();
+        }
+        out
+    }
+
+    fn paths_dfs(
+        &self,
+        rev: &DiGraph,
+        path: &mut Vec<usize>,
+        on_path: &mut [bool],
+        out: &mut Vec<Vec<usize>>,
+        max_paths: usize,
+        max_len: usize,
+    ) {
+        if out.len() >= max_paths {
+            return;
+        }
+        let u = *path.last().expect("path never empty");
+        let parents = rev.neighbors(u);
+        let extendable: Vec<usize> = parents
+            .iter()
+            .map(|&p| p as usize)
+            .filter(|&p| !on_path[p])
+            .collect();
+        if extendable.is_empty() || path.len() >= max_len {
+            // Reached a source (or cycle-blocked / length-capped): emit.
+            out.push(path.clone());
+            return;
+        }
+        for p in extendable {
+            path.push(p);
+            on_path[p] = true;
+            self.paths_dfs(rev, path, on_path, out, max_paths, max_len);
+            on_path[p] = false;
+            path.pop();
+            if out.len() >= max_paths {
+                return;
+            }
+        }
+    }
+
+    /// Induced subgraph around `center`: all nodes within `radius` hops in
+    /// either direction, plus the edges among them. Returns the kept node
+    /// ids (sorted) and the relabelled subgraph.
+    pub fn neighborhood(&self, center: usize, radius: usize) -> (Vec<usize>, DiGraph) {
+        let rev = self.reversed();
+        let mut dist = vec![usize::MAX; self.node_count()];
+        dist[center] = 0;
+        let mut queue = VecDeque::from([center]);
+        while let Some(u) = queue.pop_front() {
+            if dist[u] == radius {
+                continue;
+            }
+            for &v in self.neighbors(u).iter().chain(rev.neighbors(u)) {
+                let v = v as usize;
+                if dist[v] == usize::MAX {
+                    dist[v] = dist[u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        let nodes: Vec<usize> =
+            (0..self.node_count()).filter(|&v| dist[v] != usize::MAX).collect();
+        let index_of: std::collections::HashMap<usize, usize> =
+            nodes.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        let mut sub = DiGraph::new(nodes.len());
+        for &u in &nodes {
+            for &v in self.neighbors(u) {
+                if let Some(&vi) = index_of.get(&(v as usize)) {
+                    sub.add_edge(index_of[&u], vi);
+                }
+            }
+        }
+        sub.normalize();
+        (nodes, sub)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> DiGraph {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3
+        DiGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn basic_counts_and_lookup() {
+        let g = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let g = DiGraph::from_edges(2, &[(0, 1), (0, 1), (0, 1)]);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn topological_sort_on_dag() {
+        let g = diamond();
+        let order = g.topological_sort().expect("diamond is a DAG");
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 4];
+            for (i, &v) in order.iter().enumerate() {
+                p[v] = i;
+            }
+            p
+        };
+        for (u, v) in g.edges() {
+            assert!(pos[u] < pos[v], "edge ({u},{v}) violates order");
+        }
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert!(!g.is_dag());
+        assert!(g.topological_sort().is_none());
+        assert!(diamond().is_dag());
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let g = DiGraph::from_edges(2, &[(0, 0)]);
+        assert!(!g.is_dag());
+    }
+
+    #[test]
+    fn degrees() {
+        let g = diamond();
+        assert_eq!(g.in_degrees(), vec![0, 1, 1, 2]);
+        assert_eq!(g.out_degrees(), vec![2, 1, 1, 0]);
+    }
+
+    #[test]
+    fn reachability() {
+        let g = diamond();
+        let r = g.reachable_from(1);
+        assert_eq!(r, vec![false, false, false, true]);
+    }
+
+    #[test]
+    fn reversed_flips_edges() {
+        let g = diamond().reversed();
+        assert!(g.has_edge(3, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn from_dense_thresholds() {
+        let w = DenseMatrix::from_rows(&[&[0.0, 0.5], &[0.01, 0.0]]).unwrap();
+        let g = DiGraph::from_dense(&w, 0.1);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+    }
+
+    #[test]
+    fn paths_into_enumerates_all_root_paths() {
+        let g = diamond();
+        let mut paths = g.paths_into(3, 100, 10);
+        paths.sort();
+        assert_eq!(paths, vec![vec![0, 1, 3], vec![0, 2, 3]]);
+    }
+
+    #[test]
+    fn paths_into_source_node_is_itself() {
+        let g = diamond();
+        let paths = g.paths_into(0, 100, 10);
+        assert_eq!(paths, vec![vec![0]]);
+    }
+
+    #[test]
+    fn paths_into_respects_caps() {
+        let g = diamond();
+        let paths = g.paths_into(3, 1, 10);
+        assert_eq!(paths.len(), 1);
+        let short = g.paths_into(3, 100, 2);
+        // Length cap 2: paths stop early, still source-first with target last.
+        for p in &short {
+            assert!(p.len() <= 2);
+            assert_eq!(*p.last().unwrap(), 3);
+        }
+    }
+
+    #[test]
+    fn paths_into_handles_cycles_without_hanging() {
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 0), (1, 2)]);
+        let paths = g.paths_into(2, 100, 10);
+        // 0 -> 1 -> 2 is the simple path; the 0/1 cycle must not loop forever.
+        assert!(paths.contains(&vec![0, 1, 2]));
+    }
+
+    #[test]
+    fn neighborhood_extraction() {
+        let g = DiGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let (nodes, sub) = g.neighborhood(2, 1);
+        assert_eq!(nodes, vec![1, 2, 3]);
+        assert_eq!(sub.edge_count(), 2); // 1->2, 2->3 relabelled
+        assert!(sub.has_edge(0, 1) && sub.has_edge(1, 2));
+    }
+}

@@ -1,0 +1,163 @@
+//! Graphviz DOT export for learned structures.
+//!
+//! The paper presents its qualitative results as drawings (Fig. 6, the
+//! booking graph; Fig. 8, the MovieLens subgraph). This module renders a
+//! [`DiGraph`] — optionally with weights and node labels — as DOT text
+//! that `dot -Tpng` turns into the same kind of figure.
+
+use crate::dag::DiGraph;
+use least_linalg::CsrMatrix;
+use std::fmt::Write as _;
+
+/// Options for DOT rendering.
+#[derive(Debug, Clone)]
+pub struct DotOptions {
+    /// Graph name in the output.
+    pub name: String,
+    /// Left-to-right layout (`rankdir=LR`) instead of top-down.
+    pub left_to_right: bool,
+    /// Color negative-weight edges red and positive green (needs weights).
+    pub color_by_sign: bool,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        Self { name: "learned".into(), left_to_right: false, color_by_sign: true }
+    }
+}
+
+/// Escape a label for double-quoted DOT strings.
+fn escape(label: &str) -> String {
+    label.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Render a graph with the given node labels (`labels[i]` for node `i`;
+/// missing labels fall back to the node index).
+pub fn to_dot(graph: &DiGraph, labels: &[String], options: &DotOptions) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(&options.name));
+    if options.left_to_right {
+        let _ = writeln!(out, "  rankdir=LR;");
+    }
+    let _ = writeln!(out, "  node [shape=box, fontsize=10];");
+    for v in 0..graph.node_count() {
+        let label = labels.get(v).map(String::as_str).unwrap_or("");
+        if label.is_empty() {
+            let _ = writeln!(out, "  n{v};");
+        } else {
+            let _ = writeln!(out, "  n{v} [label=\"{}\"];", escape(label));
+        }
+    }
+    for (u, v) in graph.edges() {
+        let _ = writeln!(out, "  n{u} -> n{v};");
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Render a weighted adjacency matrix: edge labels carry the weights, and
+/// (optionally) sign determines color — matching the paper's Fig. 8
+/// "green and red edges indicate positive and negative learned weights".
+pub fn weighted_to_dot(
+    weights: &CsrMatrix,
+    labels: &[String],
+    tau: f64,
+    options: &DotOptions,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(&options.name));
+    if options.left_to_right {
+        let _ = writeln!(out, "  rankdir=LR;");
+    }
+    let _ = writeln!(out, "  node [shape=box, fontsize=10];");
+    // Only nodes incident to a surviving edge are emitted (subgraph style).
+    let mut used = vec![false; weights.rows().max(weights.cols())];
+    for (u, v, w) in weights.iter() {
+        if w.abs() > tau {
+            used[u] = true;
+            used[v] = true;
+        }
+    }
+    for (v, &is_used) in used.iter().enumerate() {
+        if is_used {
+            let label = labels.get(v).map(String::as_str).unwrap_or("");
+            let _ = writeln!(out, "  n{v} [label=\"{}\"];", escape(label));
+        }
+    }
+    for (u, v, w) in weights.iter() {
+        if w.abs() <= tau {
+            continue;
+        }
+        let color = if options.color_by_sign {
+            if w >= 0.0 {
+                ", color=darkgreen"
+            } else {
+                ", color=red"
+            }
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "  n{u} -> n{v} [label=\"{w:.2}\"{color}];");
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use least_linalg::Coo;
+
+    fn labels(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("v{i}")).collect()
+    }
+
+    #[test]
+    fn basic_structure() {
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let dot = to_dot(&g, &labels(3), &DotOptions::default());
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("n0 -> n1;"));
+        assert!(dot.contains("n1 -> n2;"));
+        assert!(dot.contains("label=\"v1\""));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn escaping_quotes() {
+        let g = DiGraph::from_edges(1, &[]);
+        let dot = to_dot(&g, &[String::from("movie \"Alien\"")], &DotOptions::default());
+        assert!(dot.contains("movie \\\"Alien\\\""));
+    }
+
+    #[test]
+    fn weighted_colors_by_sign() {
+        let mut coo = Coo::new(3, 3);
+        coo.push(0, 1, 0.8).unwrap();
+        coo.push(1, 2, -0.5).unwrap();
+        let w = coo.to_csr();
+        let dot = weighted_to_dot(&w, &labels(3), 0.0, &DotOptions::default());
+        assert!(dot.contains("color=darkgreen"));
+        assert!(dot.contains("color=red"));
+        assert!(dot.contains("0.80"));
+    }
+
+    #[test]
+    fn weighted_respects_tau_and_drops_isolated_nodes() {
+        let mut coo = Coo::new(4, 4);
+        coo.push(0, 1, 0.8).unwrap();
+        coo.push(2, 3, 0.05).unwrap();
+        let w = coo.to_csr();
+        let dot = weighted_to_dot(&w, &labels(4), 0.1, &DotOptions::default());
+        assert!(dot.contains("n0 -> n1"));
+        assert!(!dot.contains("n2 -> n3"));
+        assert!(!dot.contains("label=\"v2\""));
+    }
+
+    #[test]
+    fn rankdir_option() {
+        let g = DiGraph::new(1);
+        let opts = DotOptions { left_to_right: true, ..Default::default() };
+        assert!(to_dot(&g, &[], &opts).contains("rankdir=LR"));
+    }
+}

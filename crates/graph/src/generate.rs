@@ -1,0 +1,213 @@
+//! Random DAG generation following the NOTEARS benchmark protocol that the
+//! paper adopts (Section V-A): "It generates a random graph topology of G
+//! following two models, Erdős–Rényi (ER) or scale-free (SF)".
+//!
+//! Conventions (matching the reference implementation of Zheng et al.,
+//! which the paper reuses):
+//!
+//! * **ER-k**: sample an undirected Erdős–Rényi graph with expected `k·d/2`
+//!   edges... in the NOTEARS code, "ERk" draws a random permutation and
+//!   keeps lower-triangular entries independently with probability
+//!   `p = k / (d − 1)`, giving expected average node degree `k` (i.e.
+//!   `k·d/2` directed edges after orientation).
+//! * **SF-k**: Barabási–Albert preferential attachment with `m = k/2` new
+//!   edges per node, oriented by attachment order (new node → existing
+//!   node gives a DAG; we then relabel by a random permutation).
+//!
+//! Both generators orient edges along a hidden random permutation, so node
+//! ids carry no ordering information (learners cannot cheat).
+
+use crate::dag::DiGraph;
+use least_linalg::Xoshiro256pp;
+
+/// Which random-graph family to draw from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphModel {
+    /// Erdős–Rényi with the given expected average node degree
+    /// (paper uses ER-2).
+    ErdosRenyi { avg_degree: usize },
+    /// Scale-free / Barabási–Albert with the given expected average node
+    /// degree (paper uses SF-4, i.e. `m = 2` attachments per node).
+    ScaleFree { avg_degree: usize },
+}
+
+impl GraphModel {
+    /// Short label used in benchmark output ("ER-2", "SF-4").
+    pub fn label(&self) -> String {
+        match self {
+            GraphModel::ErdosRenyi { avg_degree } => format!("ER-{avg_degree}"),
+            GraphModel::ScaleFree { avg_degree } => format!("SF-{avg_degree}"),
+        }
+    }
+
+    /// Draw a DAG with `d` nodes.
+    pub fn sample(&self, d: usize, rng: &mut Xoshiro256pp) -> DiGraph {
+        match *self {
+            GraphModel::ErdosRenyi { avg_degree } => erdos_renyi_dag(d, avg_degree, rng),
+            GraphModel::ScaleFree { avg_degree } => scale_free_dag(d, avg_degree, rng),
+        }
+    }
+}
+
+/// Random permutation of `0..d`.
+fn random_permutation(d: usize, rng: &mut Xoshiro256pp) -> Vec<usize> {
+    let mut p: Vec<usize> = (0..d).collect();
+    rng.shuffle(&mut p);
+    p
+}
+
+/// Erdős–Rényi DAG: each of the `d·(d−1)/2` ordered pairs (under a hidden
+/// random permutation) becomes an edge independently with probability
+/// `avg_degree / (d − 1)`, giving expected average total degree
+/// `avg_degree` per node.
+pub fn erdos_renyi_dag(d: usize, avg_degree: usize, rng: &mut Xoshiro256pp) -> DiGraph {
+    assert!(d >= 2, "need at least two nodes");
+    let p = (avg_degree as f64 / (d - 1) as f64).min(1.0);
+    let perm = random_permutation(d, rng);
+    let mut edges = Vec::new();
+    for i in 0..d {
+        for j in (i + 1)..d {
+            if rng.bernoulli(p) {
+                edges.push((perm[i], perm[j]));
+            }
+        }
+    }
+    DiGraph::from_edges(d, &edges)
+}
+
+/// Scale-free DAG via Barabási–Albert preferential attachment with
+/// `m = avg_degree / 2` edges per arriving node (minimum 1), oriented from
+/// the new node to the chosen existing nodes, then relabelled with a hidden
+/// random permutation.
+///
+/// The resulting in-degree distribution is heavy-tailed: early nodes become
+/// hubs — the structure behind the paper's "blockbuster movie" observation
+/// in the MovieLens case study.
+pub fn scale_free_dag(d: usize, avg_degree: usize, rng: &mut Xoshiro256pp) -> DiGraph {
+    assert!(d >= 2, "need at least two nodes");
+    let m = (avg_degree / 2).max(1);
+    let perm = random_permutation(d, rng);
+    let mut edges: Vec<(usize, usize)> = Vec::with_capacity(m * d);
+    // Repeated-endpoint list implements preferential attachment in O(1).
+    let mut endpoint_pool: Vec<usize> = vec![0];
+    for new in 1..d {
+        let attach = m.min(new);
+        // `attach` is tiny (≤ m), so a Vec with linear dedup is both faster
+        // than a hash set and — unlike one — deterministic in iteration
+        // order, which keeps the whole generator reproducible from the seed.
+        let mut chosen: Vec<usize> = Vec::with_capacity(attach);
+        let mut guard = 0;
+        while chosen.len() < attach && guard < 50 * attach {
+            let target = *rng.choose(&endpoint_pool);
+            if !chosen.contains(&target) {
+                chosen.push(target);
+            }
+            guard += 1;
+        }
+        // Fall back to uniform picks if the pool was too concentrated.
+        let mut uniform_guard = 0;
+        while chosen.len() < attach && uniform_guard < 10 * new {
+            let target = rng.next_below(new);
+            if !chosen.contains(&target) {
+                chosen.push(target);
+            }
+            uniform_guard += 1;
+        }
+        for &t in &chosen {
+            edges.push((perm[new], perm[t]));
+            endpoint_pool.push(t);
+        }
+        endpoint_pool.push(new);
+    }
+    DiGraph::from_edges(d, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn er_produces_dag_with_expected_edge_count() {
+        let mut rng = Xoshiro256pp::new(41);
+        let d = 200;
+        let g = erdos_renyi_dag(d, 2, &mut rng);
+        assert!(g.is_dag());
+        // Expected edges = d * avg_degree / 2 = 200. Allow 3-sigma-ish slack.
+        let e = g.edge_count() as f64;
+        assert!((140.0..260.0).contains(&e), "edge count {e}");
+    }
+
+    #[test]
+    fn sf_produces_dag_with_expected_edge_count() {
+        let mut rng = Xoshiro256pp::new(42);
+        let d = 200;
+        let g = scale_free_dag(d, 4, &mut rng);
+        assert!(g.is_dag());
+        // m = 2 per node => ~2(d-1) edges.
+        let e = g.edge_count();
+        assert!((300..=400).contains(&e), "edge count {e}");
+    }
+
+    #[test]
+    fn sf_has_heavy_tailed_in_degree() {
+        let mut rng = Xoshiro256pp::new(43);
+        let d = 500;
+        let g = scale_free_dag(d, 4, &mut rng);
+        // in + out degrees combined: hubs should far exceed the mean degree.
+        let total: Vec<usize> = g
+            .in_degrees()
+            .iter()
+            .zip(g.out_degrees())
+            .map(|(&a, b)| a + b)
+            .collect();
+        let max = *total.iter().max().unwrap();
+        let mean = total.iter().sum::<usize>() as f64 / d as f64;
+        assert!(
+            max as f64 > 4.0 * mean,
+            "no hub: max degree {max}, mean {mean:.2}"
+        );
+    }
+
+    #[test]
+    fn er_degree_is_not_heavy_tailed() {
+        let mut rng = Xoshiro256pp::new(44);
+        let d = 500;
+        let g = erdos_renyi_dag(d, 4, &mut rng);
+        let max_in = *g.in_degrees().iter().max().unwrap();
+        // Poisson(2)-ish in-degrees: max should stay modest.
+        assert!(max_in < 15, "max in-degree {max_in}");
+    }
+
+    #[test]
+    fn permutation_hides_ordering() {
+        // If orientation followed node ids, every edge would satisfy u < v.
+        let mut rng = Xoshiro256pp::new(45);
+        let g = erdos_renyi_dag(100, 4, &mut rng);
+        let backwards = g.edges().filter(|&(u, v)| u > v).count();
+        assert!(backwards > 0, "edges all follow node-id order: permutation broken");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g1 = erdos_renyi_dag(50, 2, &mut Xoshiro256pp::new(7));
+        let g2 = erdos_renyi_dag(50, 2, &mut Xoshiro256pp::new(7));
+        assert_eq!(g1, g2);
+        let s1 = scale_free_dag(50, 4, &mut Xoshiro256pp::new(8));
+        let s2 = scale_free_dag(50, 4, &mut Xoshiro256pp::new(8));
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn model_labels() {
+        assert_eq!(GraphModel::ErdosRenyi { avg_degree: 2 }.label(), "ER-2");
+        assert_eq!(GraphModel::ScaleFree { avg_degree: 4 }.label(), "SF-4");
+    }
+
+    #[test]
+    fn model_sample_dispatches() {
+        let mut rng = Xoshiro256pp::new(46);
+        let g = GraphModel::ScaleFree { avg_degree: 4 }.sample(60, &mut rng);
+        assert!(g.is_dag());
+        assert!(g.edge_count() > 0);
+    }
+}

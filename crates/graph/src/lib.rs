@@ -1,0 +1,23 @@
+//! # least-graph
+//!
+//! Directed-graph substrate for the LEAST reproduction:
+//!
+//! * [`DiGraph`] — adjacency-list digraph with cycle detection (Kahn),
+//!   topological sort, reachability, and path enumeration (the monitoring
+//!   application of Section VI-A walks every path into an error node);
+//! * [`generate`] — the benchmark graph models of Section V-A: Erdős–Rényi
+//!   and scale-free (Barabási–Albert) random DAGs with uniform random edge
+//!   weights, matching the NOTEARS evaluation protocol the paper follows;
+//! * weighted-adjacency conversions to and from `least-linalg` matrices.
+
+pub mod acyclicity;
+pub mod dag;
+pub mod dot;
+pub mod generate;
+pub mod weights;
+
+pub use acyclicity::{sparse_h, strongly_connected_components, SparseHReport};
+pub use dag::DiGraph;
+pub use dot::{to_dot, weighted_to_dot, DotOptions};
+pub use generate::{erdos_renyi_dag, scale_free_dag, GraphModel};
+pub use weights::{weighted_adjacency_dense, weighted_adjacency_sparse, WeightRange};

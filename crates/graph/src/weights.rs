@@ -1,0 +1,120 @@
+//! Edge-weight assignment and adjacency-matrix conversion.
+//!
+//! The benchmark protocol (following NOTEARS) gives every edge of the ground
+//! truth DAG a weight drawn uniformly from `±[0.5, 2.0]` — bounded away from
+//! zero so edges are identifiable, and sign-symmetric so learners cannot
+//! assume positivity.
+
+use crate::dag::DiGraph;
+use least_linalg::{Coo, CsrMatrix, DenseMatrix, Xoshiro256pp};
+
+/// Symmetric two-sided uniform weight range `±[lo, hi]`.
+#[derive(Debug, Clone, Copy)]
+pub struct WeightRange {
+    /// Lower magnitude bound (default 0.5).
+    pub lo: f64,
+    /// Upper magnitude bound (default 2.0).
+    pub hi: f64,
+}
+
+impl Default for WeightRange {
+    fn default() -> Self {
+        Self { lo: 0.5, hi: 2.0 }
+    }
+}
+
+impl WeightRange {
+    /// Draw one signed weight.
+    pub fn sample(&self, rng: &mut Xoshiro256pp) -> f64 {
+        let magnitude = rng.uniform(self.lo, self.hi);
+        if rng.bernoulli(0.5) {
+            magnitude
+        } else {
+            -magnitude
+        }
+    }
+}
+
+/// Weighted adjacency as a dense matrix: `W[u, v]` is the weight of edge
+/// `u → v` (the paper's convention: `X_v` depends on `X_u` iff
+/// `W[u, v] ≠ 0`).
+pub fn weighted_adjacency_dense(
+    g: &DiGraph,
+    range: WeightRange,
+    rng: &mut Xoshiro256pp,
+) -> DenseMatrix {
+    let d = g.node_count();
+    let mut w = DenseMatrix::zeros(d, d);
+    for (u, v) in g.edges() {
+        w[(u, v)] = range.sample(rng);
+    }
+    w
+}
+
+/// Weighted adjacency as a CSR matrix (large graphs).
+pub fn weighted_adjacency_sparse(
+    g: &DiGraph,
+    range: WeightRange,
+    rng: &mut Xoshiro256pp,
+) -> CsrMatrix {
+    let d = g.node_count();
+    let mut coo = Coo::with_capacity(d, d, g.edge_count());
+    for (u, v) in g.edges() {
+        coo.push(u, v, range.sample(rng)).expect("edge in bounds");
+    }
+    coo.to_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> DiGraph {
+        DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn weights_in_range_and_on_edges_only() {
+        let mut rng = Xoshiro256pp::new(51);
+        let g = chain();
+        let w = weighted_adjacency_dense(&g, WeightRange::default(), &mut rng);
+        for i in 0..4 {
+            for j in 0..4 {
+                let v = w[(i, j)];
+                if g.has_edge(i, j) {
+                    assert!((0.5..=2.0).contains(&v.abs()), "weight {v}");
+                } else {
+                    assert_eq!(v, 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_matches_dense() {
+        let g = chain();
+        let dense = weighted_adjacency_dense(&g, WeightRange::default(), &mut Xoshiro256pp::new(5));
+        let sparse =
+            weighted_adjacency_sparse(&g, WeightRange::default(), &mut Xoshiro256pp::new(5));
+        assert!(sparse.to_dense().approx_eq(&dense, 0.0));
+    }
+
+    #[test]
+    fn signs_are_mixed() {
+        let mut rng = Xoshiro256pp::new(52);
+        let range = WeightRange::default();
+        let signs: Vec<bool> = (0..200).map(|_| range.sample(&mut rng) > 0.0).collect();
+        let positives = signs.iter().filter(|&&s| s).count();
+        assert!((50..150).contains(&positives), "positives {positives}");
+    }
+
+    #[test]
+    fn custom_range_respected() {
+        let mut rng = Xoshiro256pp::new(53);
+        let range = WeightRange { lo: 3.0, hi: 4.0 };
+        for _ in 0..100 {
+            let w = range.sample(&mut rng).abs();
+            assert!((3.0..=4.0).contains(&w));
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Coordinate-format (triplet) builder for sparse matrices.
+//!
+//! `Coo` is the mutable construction stage: push `(row, col, value)` triplets
+//! in any order, then [`Coo::to_csr`] sorts, merges duplicates and produces
+//! the immutable-pattern [`crate::CsrMatrix`] the solvers operate on.
+
+use crate::csr::CsrMatrix;
+use crate::error::LinalgError;
+use crate::Result;
+
+/// Sparse matrix under construction, in coordinate (triplet) format.
+#[derive(Debug, Clone)]
+pub struct Coo {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(u32, u32, f64)>,
+}
+
+impl Coo {
+    /// Empty builder for a `rows x cols` matrix.
+    ///
+    /// Dimensions are limited to `u32::MAX` because indices are stored as
+    /// `u32` — half the memory of `usize` indices, and 4 billion nodes is far
+    /// beyond the paper's largest graph (159k nodes).
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows <= u32::MAX as usize && cols <= u32::MAX as usize);
+        Self { rows, cols, entries: Vec::new() }
+    }
+
+    /// Builder with pre-reserved capacity.
+    pub fn with_capacity(rows: usize, cols: usize, cap: usize) -> Self {
+        let mut coo = Self::new(rows, cols);
+        coo.entries.reserve(cap);
+        coo
+    }
+
+    /// Number of raw (possibly duplicate) triplets pushed so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no triplets have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Matrix shape.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Push one triplet. Duplicates are summed at conversion time.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) -> Result<()> {
+        if row >= self.rows || col >= self.cols {
+            return Err(LinalgError::IndexOutOfBounds {
+                index: (row, col),
+                shape: (self.rows, self.cols),
+            });
+        }
+        self.entries.push((row as u32, col as u32, value));
+        Ok(())
+    }
+
+    /// Convert to CSR: sort by `(row, col)`, merge duplicate coordinates by
+    /// summation, drop exact zeros produced by cancellation.
+    pub fn to_csr(mut self) -> CsrMatrix {
+        self.entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        let mut row_ptr = vec![0u32; self.rows + 1];
+        let mut col_idx: Vec<u32> = Vec::with_capacity(self.entries.len());
+        let mut values: Vec<f64> = Vec::with_capacity(self.entries.len());
+
+        let mut iter = self.entries.into_iter().peekable();
+        while let Some((r, c, mut v)) = iter.next() {
+            while let Some(&(r2, c2, v2)) = iter.peek() {
+                if r2 == r && c2 == c {
+                    v += v2;
+                    iter.next();
+                } else {
+                    break;
+                }
+            }
+            if v != 0.0 {
+                col_idx.push(c);
+                values.push(v);
+                row_ptr[r as usize + 1] += 1;
+            }
+        }
+        for i in 0..self.rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        CsrMatrix::from_raw_parts(self.rows, self.cols, row_ptr, col_idx, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_convert() {
+        let mut coo = Coo::new(3, 3);
+        coo.push(0, 1, 2.0).unwrap();
+        coo.push(2, 0, -1.0).unwrap();
+        coo.push(1, 1, 3.0).unwrap();
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 3);
+        assert_eq!(csr.get(0, 1), 2.0);
+        assert_eq!(csr.get(2, 0), -1.0);
+        assert_eq!(csr.get(1, 1), 3.0);
+        assert_eq!(csr.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut coo = Coo::new(2, 2);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(0, 0, 2.5).unwrap();
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 1);
+        assert_eq!(csr.get(0, 0), 3.5);
+    }
+
+    #[test]
+    fn cancellation_drops_entry() {
+        let mut coo = Coo::new(2, 2);
+        coo.push(1, 1, 4.0).unwrap();
+        coo.push(1, 1, -4.0).unwrap();
+        assert_eq!(coo.to_csr().nnz(), 0);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut coo = Coo::new(2, 2);
+        assert!(coo.push(2, 0, 1.0).is_err());
+        assert!(coo.push(0, 2, 1.0).is_err());
+    }
+
+    #[test]
+    fn unsorted_input_sorts_correctly() {
+        let mut coo = Coo::new(2, 3);
+        coo.push(1, 2, 6.0).unwrap();
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(1, 0, 4.0).unwrap();
+        coo.push(0, 2, 3.0).unwrap();
+        let csr = coo.to_csr();
+        let triples: Vec<_> = csr.iter().collect();
+        assert_eq!(
+            triples,
+            vec![(0, 0, 1.0), (0, 2, 3.0), (1, 0, 4.0), (1, 2, 6.0)]
+        );
+    }
+
+    #[test]
+    fn empty_builder_gives_empty_matrix() {
+        let csr = Coo::new(4, 4).to_csr();
+        assert_eq!(csr.nnz(), 0);
+        assert_eq!(csr.shape(), (4, 4));
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type shared by the linear algebra kernels.
+
+use std::fmt;
+
+/// Errors produced by `least-linalg` operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Two operands had incompatible shapes. Carries `(found, expected)`
+    /// rendered as `rows x cols` strings for readable messages.
+    ShapeMismatch { found: (usize, usize), expected: (usize, usize) },
+    /// An index was out of bounds for the matrix dimensions.
+    IndexOutOfBounds { index: (usize, usize), shape: (usize, usize) },
+    /// The matrix must be square for this operation (trace, LU, expm, ...).
+    NotSquare { shape: (usize, usize) },
+    /// LU factorization hit a zero pivot: the matrix is singular (or so
+    /// ill-conditioned that partial pivoting could not rescue it).
+    Singular { pivot: usize },
+    /// An iterative routine failed to converge within its iteration budget.
+    NoConvergence { iterations: usize, residual: f64 },
+    /// Invalid argument (negative density, empty matrix where non-empty is
+    /// required, NaN input, ...).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { found, expected } => write!(
+                f,
+                "shape mismatch: found {}x{}, expected {}x{}",
+                found.0, found.1, expected.0, expected.1
+            ),
+            LinalgError::IndexOutOfBounds { index, shape } => write!(
+                f,
+                "index ({}, {}) out of bounds for {}x{} matrix",
+                index.0, index.1, shape.0, shape.1
+            ),
+            LinalgError::NotSquare { shape } => {
+                write!(f, "operation requires a square matrix, got {}x{}", shape.0, shape.1)
+            }
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular (zero pivot at column {pivot})")
+            }
+            LinalgError::NoConvergence { iterations, residual } => write!(
+                f,
+                "iteration failed to converge after {iterations} steps (residual {residual:.3e})"
+            ),
+            LinalgError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = LinalgError::ShapeMismatch { found: (2, 3), expected: (3, 3) };
+        assert_eq!(e.to_string(), "shape mismatch: found 2x3, expected 3x3");
+    }
+
+    #[test]
+    fn display_singular() {
+        let e = LinalgError::Singular { pivot: 4 };
+        assert!(e.to_string().contains("zero pivot at column 4"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&LinalgError::NotSquare { shape: (1, 2) });
+    }
+}

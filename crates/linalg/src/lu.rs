@@ -1,0 +1,225 @@
+//! LU factorization with partial pivoting.
+//!
+//! Needed by the Padé rational approximation inside the matrix exponential
+//! (the NOTEARS baseline constraint): each `expm` call solves a linear
+//! system `(V − U) X = (V + U)`.
+
+use crate::dense::DenseMatrix;
+use crate::error::LinalgError;
+use crate::Result;
+
+/// Packed LU factorization `P·A = L·U` of a square matrix.
+///
+/// `L` (unit lower-triangular) and `U` are stored in one matrix; `perm`
+/// records row exchanges; `sign` tracks the permutation parity for the
+/// determinant.
+#[derive(Debug, Clone)]
+pub struct LuFactorization {
+    lu: DenseMatrix,
+    perm: Vec<usize>,
+    sign: f64,
+}
+
+impl LuFactorization {
+    /// Factorize `a`. Fails with [`LinalgError::Singular`] when a pivot
+    /// column is numerically zero.
+    pub fn new(a: &DenseMatrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+
+        for k in 0..n {
+            // Partial pivoting: largest magnitude in column k at/below row k.
+            let mut pivot_row = k;
+            let mut pivot_val = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = i;
+                }
+            }
+            if pivot_val < f64::EPSILON * n as f64 {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            if pivot_row != k {
+                perm.swap(k, pivot_row);
+                sign = -sign;
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(pivot_row, j)];
+                    lu[(pivot_row, j)] = tmp;
+                }
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                if factor != 0.0 {
+                    for j in (k + 1)..n {
+                        let ukj = lu[(k, j)];
+                        lu[(i, j)] -= factor * ukj;
+                    }
+                }
+            }
+        }
+        Ok(Self { lu, perm, sign })
+    }
+
+    /// Order of the factorized matrix.
+    pub fn order(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Determinant of the original matrix.
+    pub fn determinant(&self) -> f64 {
+        let mut det = self.sign;
+        for i in 0..self.order() {
+            det *= self.lu[(i, i)];
+        }
+        det
+    }
+
+    /// Solve `A x = b` for a single right-hand side.
+    #[allow(clippy::needless_range_loop)] // triangular substitution reads x[j] while writing x[i]
+    pub fn solve_vec(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.order();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch { found: (b.len(), 1), expected: (n, 1) });
+        }
+        // Apply permutation, then forward- and back-substitute.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            let mut s = x[i];
+            for j in 0..i {
+                s -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = s;
+        }
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in (i + 1)..n {
+                s -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = s / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solve `A X = B` column by column.
+    pub fn solve_matrix(&self, b: &DenseMatrix) -> Result<DenseMatrix> {
+        let n = self.order();
+        if b.rows() != n {
+            return Err(LinalgError::ShapeMismatch { found: b.shape(), expected: (n, b.cols()) });
+        }
+        let mut out = DenseMatrix::zeros(n, b.cols());
+        let mut col = vec![0.0; n];
+        for j in 0..b.cols() {
+            for i in 0..n {
+                col[i] = b[(i, j)];
+            }
+            let x = self.solve_vec(&col)?;
+            for i in 0..n {
+                out[(i, j)] = x[i];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Inverse of the original matrix (solve against the identity).
+    pub fn inverse(&self) -> Result<DenseMatrix> {
+        self.solve_matrix(&DenseMatrix::identity(self.order()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256pp;
+
+    #[test]
+    fn solves_known_system() {
+        let a = DenseMatrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let lu = LuFactorization::new(&a).unwrap();
+        let x = lu.solve_vec(&[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinant_of_known_matrix() {
+        let a = DenseMatrix::from_rows(&[&[4.0, 3.0], &[6.0, 3.0]]).unwrap();
+        let lu = LuFactorization::new(&a).unwrap();
+        assert!((lu.determinant() - (-6.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_rejected() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(matches!(LuFactorization::new(&a), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = DenseMatrix::zeros(2, 3);
+        assert!(matches!(LuFactorization::new(&a), Err(LinalgError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = DenseMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let lu = LuFactorization::new(&a).unwrap();
+        let x = lu.solve_vec(&[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let mut rng = Xoshiro256pp::new(99);
+        let n = 12;
+        // Diagonally dominant => comfortably nonsingular.
+        let a = DenseMatrix::from_fn(n, n, |i, j| {
+            if i == j {
+                n as f64 + rng.next_f64()
+            } else {
+                rng.gaussian() * 0.5
+            }
+        });
+        let inv = LuFactorization::new(&a).unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(prod.approx_eq(&DenseMatrix::identity(n), 1e-9));
+    }
+
+    #[test]
+    fn solve_matrix_matches_vector_solves() {
+        let a = DenseMatrix::from_rows(&[&[3.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let b = DenseMatrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]).unwrap();
+        let lu = LuFactorization::new(&a).unwrap();
+        let x = lu.solve_matrix(&b).unwrap();
+        let recomposed = a.matmul(&x).unwrap();
+        assert!(recomposed.approx_eq(&b, 1e-12));
+    }
+
+    #[test]
+    fn random_solve_residual_is_small() {
+        let mut rng = Xoshiro256pp::new(100);
+        let n = 25;
+        let a = DenseMatrix::from_fn(n, n, |i, j| {
+            if i == j {
+                5.0 + rng.next_f64()
+            } else {
+                rng.gaussian() * 0.3
+            }
+        });
+        let b: Vec<f64> = (0..n).map(|_| rng.gaussian()).collect();
+        let x = LuFactorization::new(&a).unwrap().solve_vec(&b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        let residual: f64 = ax.iter().zip(&b).map(|(p, q)| (p - q).abs()).fold(0.0, f64::max);
+        assert!(residual < 1e-10, "residual {residual}");
+    }
+}

@@ -1,0 +1,96 @@
+//! Dense matrix powers by binary exponentiation.
+//!
+//! Used by the DAG-GNN polynomial acyclicity constraint
+//! `g(S) = tr((I + cS)^d) − d` (and its gradient `d·((I + cS)^{d−1})ᵀ`),
+//! which the paper cites as the relaxation of Yu et al. \[37\].
+
+use crate::dense::DenseMatrix;
+use crate::error::LinalgError;
+use crate::Result;
+
+/// `a^p` via binary exponentiation: `O(d³ log p)`.
+pub fn matrix_power(a: &DenseMatrix, p: u64) -> Result<DenseMatrix> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { shape: a.shape() });
+    }
+    let mut result = DenseMatrix::identity(a.rows());
+    if p == 0 {
+        return Ok(result);
+    }
+    let mut base = a.clone();
+    let mut exp = p;
+    loop {
+        if exp & 1 == 1 {
+            result = result.matmul(&base)?;
+        }
+        exp >>= 1;
+        if exp == 0 {
+            break;
+        }
+        base = base.matmul(&base)?;
+    }
+    Ok(result)
+}
+
+/// `tr(a^p)` without keeping intermediate powers around longer than needed.
+pub fn matrix_power_trace(a: &DenseMatrix, p: u64) -> Result<f64> {
+    matrix_power(a, p)?.trace()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_zero_is_identity() {
+        let a = DenseMatrix::from_rows(&[&[2.0, 1.0], &[0.0, 2.0]]).unwrap();
+        assert!(matrix_power(&a, 0).unwrap().approx_eq(&DenseMatrix::identity(2), 0.0));
+    }
+
+    #[test]
+    fn power_one_is_copy() {
+        let a = DenseMatrix::from_rows(&[&[2.0, 1.0], &[3.0, 4.0]]).unwrap();
+        assert!(matrix_power(&a, 1).unwrap().approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn power_matches_repeated_multiplication() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 1.0], &[1.0, 0.0]]).unwrap(); // Fibonacci matrix
+        let p5 = matrix_power(&a, 5).unwrap();
+        let mut manual = a.clone();
+        for _ in 0..4 {
+            manual = manual.matmul(&a).unwrap();
+        }
+        assert!(p5.approx_eq(&manual, 1e-12));
+        // Fibonacci check: A^5 = [[F6, F5], [F5, F4]] = [[8,5],[5,3]].
+        assert_eq!(p5[(0, 0)], 8.0);
+        assert_eq!(p5[(0, 1)], 5.0);
+        assert_eq!(p5[(1, 1)], 3.0);
+    }
+
+    #[test]
+    fn nilpotent_power_vanishes() {
+        // Strictly upper triangular (a DAG adjacency) is nilpotent: A^d = 0.
+        let a = DenseMatrix::from_rows(&[
+            &[0.0, 1.0, 1.0],
+            &[0.0, 0.0, 1.0],
+            &[0.0, 0.0, 0.0],
+        ])
+        .unwrap();
+        let p = matrix_power(&a, 3).unwrap();
+        assert!(p.approx_eq(&DenseMatrix::zeros(3, 3), 0.0));
+    }
+
+    #[test]
+    fn trace_of_power_counts_cycles() {
+        // 2-cycle: tr(A^2) = 2 (one length-2 cycle through each node).
+        let a = DenseMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        assert_eq!(matrix_power_trace(&a, 2).unwrap(), 2.0);
+        assert_eq!(matrix_power_trace(&a, 3).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(matrix_power(&DenseMatrix::zeros(2, 3), 2).is_err());
+    }
+}

@@ -1,0 +1,338 @@
+//! Deterministic pseudo-random number generation and the sampling
+//! distributions required by the paper's benchmark protocol.
+//!
+//! The offline crate set has `rand` but not `rand_distr`, and the experiments
+//! need Gaussian, Exponential and Gumbel noise (Section V-A of the paper).
+//! We therefore implement a small, fully deterministic generator:
+//! [xoshiro256++](https://prng.di.unimi.it/) seeded through SplitMix64, plus
+//! inverse-CDF / Box–Muller samplers. Every stochastic component in the
+//! workspace threads one of these through explicitly, so every experiment is
+//! reproducible from a printed `u64` seed.
+
+/// SplitMix64 step; used to expand a single `u64` seed into xoshiro state.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256++ generator: 256 bits of state, period `2^256 − 1`, passes
+/// BigCrush. Small, fast, and trivially reproducible across platforms.
+#[derive(Debug, Clone)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Create a generator from a single seed. Any seed (including 0) is
+    /// valid: SplitMix64 expansion guarantees a non-zero state.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Self { s }
+    }
+
+    /// Derive an independent child stream. Used to give each worker /
+    /// subsystem its own generator without correlated output.
+    pub fn split(&mut self) -> Self {
+        Self::new(self.next_u64())
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in the open interval `(0, 1)`; never returns exactly 0,
+    /// so it is safe to pass through `ln`.
+    #[inline]
+    pub fn next_f64_open(&mut self) -> f64 {
+        loop {
+            let u = self.next_f64();
+            if u > 0.0 {
+                return u;
+            }
+        }
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    #[inline]
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Uniform integer in `[0, n)` via Lemire's nearly-divisionless method
+    /// (unbiased; at most one `%` in the rare rejection path).
+    #[inline]
+    pub fn next_below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0, "next_below(0)");
+        let n = n as u64;
+        let mut m = (self.next_u64() as u128) * (n as u128);
+        let mut lo = m as u64;
+        if lo < n {
+            let threshold = n.wrapping_neg() % n;
+            while lo < threshold {
+                m = (self.next_u64() as u128) * (n as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as usize
+    }
+
+    /// Bernoulli draw with probability `p`.
+    #[inline]
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Standard Gaussian via Box–Muller (both variates consumed: we discard
+    /// the second to keep the generator stateless; throughput is not the
+    /// bottleneck anywhere we sample noise).
+    #[inline]
+    pub fn gaussian(&mut self) -> f64 {
+        let u1 = self.next_f64_open();
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Gaussian with the given mean and standard deviation.
+    #[inline]
+    pub fn gaussian_with(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.gaussian()
+    }
+
+    /// Exponential with rate `lambda` (mean `1/lambda`), via inverse CDF.
+    #[inline]
+    pub fn exponential(&mut self, lambda: f64) -> f64 {
+        -self.next_f64_open().ln() / lambda
+    }
+
+    /// Standard Gumbel (location 0, scale 1), via inverse CDF
+    /// `G^{-1}(u) = −ln(−ln u)`.
+    #[inline]
+    pub fn gumbel(&mut self) -> f64 {
+        -(-self.next_f64_open().ln()).ln()
+    }
+
+    /// Gumbel with the given location and scale.
+    #[inline]
+    pub fn gumbel_with(&mut self, location: f64, scale: f64) -> f64 {
+        location + scale * self.gumbel()
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.next_below(i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Sample `k` distinct indices from `0..n` (Floyd's algorithm when `k`
+    /// is small relative to `n`, shuffle otherwise). Result is unsorted.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} distinct values from 0..{n}");
+        if k * 4 >= n {
+            let mut all: Vec<usize> = (0..n).collect();
+            self.shuffle(&mut all);
+            all.truncate(k);
+            return all;
+        }
+        // Floyd's algorithm: O(k) expected insertions.
+        let mut chosen = std::collections::HashSet::with_capacity(k * 2);
+        let mut out = Vec::with_capacity(k);
+        for j in (n - k)..n {
+            let t = self.next_below(j + 1);
+            let v = if chosen.contains(&t) { j } else { t };
+            chosen.insert(v);
+            out.push(v);
+        }
+        out
+    }
+
+    /// Pick one element of a slice uniformly at random.
+    pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.next_below(xs.len())]
+    }
+
+    /// Sample an index from an (unnormalized) non-negative weight vector.
+    pub fn choose_weighted(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "all weights are zero");
+        let mut target = self.next_f64() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            target -= w;
+            if target < 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1 // numerical fall-through
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = Xoshiro256pp::new(42);
+        let mut b = Xoshiro256pp::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Xoshiro256pp::new(1);
+        let mut b = Xoshiro256pp::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn split_streams_are_independent() {
+        let mut parent = Xoshiro256pp::new(7);
+        let mut child = parent.split();
+        // The child stream must not replay the parent stream.
+        let p: Vec<u64> = (0..32).map(|_| parent.next_u64()).collect();
+        let c: Vec<u64> = (0..32).map(|_| child.next_u64()).collect();
+        assert_ne!(p, c);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Xoshiro256pp::new(3);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = Xoshiro256pp::new(4);
+        for _ in 0..10_000 {
+            let x = rng.uniform(-2.0, -0.5);
+            assert!((-2.0..-0.5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn next_below_is_in_range_and_roughly_uniform() {
+        let mut rng = Xoshiro256pp::new(5);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[rng.next_below(10)] += 1;
+        }
+        for &c in &counts {
+            // Expected 10_000; allow generous 10% tolerance.
+            assert!((9_000..11_000).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = Xoshiro256pp::new(6);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.gaussian()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn exponential_moments() {
+        let mut rng = Xoshiro256pp::new(7);
+        let n = 200_000;
+        let lambda = 2.0;
+        let mean = (0..n).map(|_| rng.exponential(lambda)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gumbel_moments() {
+        let mut rng = Xoshiro256pp::new(8);
+        let n = 200_000;
+        let mean = (0..n).map(|_| rng.gumbel()).sum::<f64>() / n as f64;
+        // Standard Gumbel mean is the Euler–Mascheroni constant ~0.5772.
+        assert!((mean - 0.5772).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn exponential_is_positive() {
+        let mut rng = Xoshiro256pp::new(9);
+        for _ in 0..10_000 {
+            assert!(rng.exponential(1.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Xoshiro256pp::new(10);
+        let mut xs: Vec<usize> = (0..100).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(xs, (0..100).collect::<Vec<_>>(), "shuffle left input untouched");
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_in_range() {
+        let mut rng = Xoshiro256pp::new(11);
+        for &(n, k) in &[(100, 5), (100, 80), (10, 10), (1, 1), (1000, 0)] {
+            let idx = rng.sample_indices(n, k);
+            assert_eq!(idx.len(), k);
+            let set: std::collections::HashSet<_> = idx.iter().collect();
+            assert_eq!(set.len(), k, "duplicates for n={n} k={k}");
+            assert!(idx.iter().all(|&i| i < n));
+        }
+    }
+
+    #[test]
+    fn choose_weighted_prefers_heavy_weights() {
+        let mut rng = Xoshiro256pp::new(12);
+        let w = [1.0, 0.0, 9.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..50_000 {
+            counts[rng.choose_weighted(&w)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        assert!(counts[2] > counts[0] * 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn sample_indices_rejects_k_gt_n() {
+        Xoshiro256pp::new(13).sample_indices(3, 4);
+    }
+}

@@ -1,0 +1,166 @@
+//! Small dense-vector helpers shared by the solvers.
+//!
+//! These are free functions over `&[f64]` rather than a vector newtype: the
+//! call sites (gradient kernels) want zero-cost interop with matrix row
+//! slices and optimizer state buffers.
+
+/// Dot product. Panics on length mismatch (programmer error at call sites).
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+/// `y += alpha * x`.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Scale in place.
+#[inline]
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x {
+        *xi *= alpha;
+    }
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Sum of absolute values.
+#[inline]
+pub fn norm1(x: &[f64]) -> f64 {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+/// Largest absolute entry.
+#[inline]
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0, |m, &v| m.max(v.abs()))
+}
+
+/// Element-wise power with an ε-floor on the base.
+///
+/// The spectral-bound vectors `b = r^α ∘ c^{1−α}` involve fractional powers
+/// of row/column sums that may be zero; flooring at `eps` (with exact zeros
+/// preserved) keeps gradients finite, matching the guard documented in
+/// DESIGN.md §6.
+#[inline]
+pub fn powf_floored(x: f64, exponent: f64, eps: f64) -> f64 {
+    if x <= 0.0 {
+        0.0
+    } else {
+        x.max(eps).powf(exponent)
+    }
+}
+
+/// Sum of entries.
+#[inline]
+pub fn sum(x: &[f64]) -> f64 {
+    x.iter().sum()
+}
+
+/// Sample mean.
+#[inline]
+pub fn mean(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        0.0
+    } else {
+        sum(x) / x.len() as f64
+    }
+}
+
+/// Sample standard deviation (population convention, `1/n`).
+pub fn std_dev(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    let m = mean(x);
+    (x.iter().map(|&v| (v - m) * (v - m)).sum::<f64>() / x.len() as f64).sqrt()
+}
+
+/// Pearson correlation coefficient of two equal-length samples.
+/// Returns `None` when either sample is degenerate (zero variance).
+pub fn pearson(a: &[f64], b: &[f64]) -> Option<f64> {
+    if a.len() != b.len() || a.len() < 2 {
+        return None;
+    }
+    let (ma, mb) = (mean(a), mean(b));
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va <= 0.0 || vb <= 0.0 {
+        return None;
+    }
+    Some(cov / (va.sqrt() * vb.sqrt()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norms() {
+        let a = [1.0, 2.0, -2.0];
+        assert_eq!(dot(&a, &a), 9.0);
+        assert_eq!(norm2(&a), 3.0);
+        assert_eq!(norm1(&a), 5.0);
+        assert_eq!(norm_inf(&a), 2.0);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut y = [1.0, 1.0];
+        axpy(2.0, &[3.0, -1.0], &mut y);
+        assert_eq!(y, [7.0, -1.0]);
+        scale(0.5, &mut y);
+        assert_eq!(y, [3.5, -0.5]);
+    }
+
+    #[test]
+    fn powf_floored_guards_zero() {
+        assert_eq!(powf_floored(0.0, -0.5, 1e-12), 0.0);
+        assert_eq!(powf_floored(-1.0, 0.3, 1e-12), 0.0);
+        assert!((powf_floored(4.0, 0.5, 1e-12) - 2.0).abs() < 1e-15);
+        // Tiny positive values are floored, not exploded.
+        let v = powf_floored(1e-300, -1.0, 1e-12);
+        assert!(v <= 1e12 + 1.0);
+    }
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+        let c = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&a, &c).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_degenerate_is_none() {
+        assert!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).is_none());
+        assert!(pearson(&[1.0], &[1.0]).is_none());
+        assert!(pearson(&[1.0, 2.0], &[1.0]).is_none());
+    }
+
+    #[test]
+    fn mean_and_std() {
+        let x = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&x), 5.0);
+        assert!((std_dev(&x) - 2.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+    }
+}

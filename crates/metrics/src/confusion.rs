@@ -1,0 +1,171 @@
+//! Edge-level confusion counts between a learned and a ground-truth graph.
+//!
+//! Conventions follow the NOTEARS/paper evaluation code: each *directed*
+//! off-diagonal pair `(i, j)` is one decision; a predicted edge is a true
+//! positive only when the ground truth has the same edge with the same
+//! direction (a reversed prediction is a false positive here, and SHD
+//! charges it once as a reversal).
+
+use least_graph::DiGraph;
+
+/// Raw confusion counts over directed edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeConfusion {
+    /// Predicted edges that exist (same direction) in the truth.
+    pub true_positives: usize,
+    /// Predicted edges absent (or reversed) in the truth.
+    pub false_positives: usize,
+    /// Truth edges the prediction missed.
+    pub false_negatives: usize,
+    /// Non-edges correctly left out (off-diagonal pairs only).
+    pub true_negatives: usize,
+}
+
+impl EdgeConfusion {
+    /// Count confusion entries between graphs on the same node set.
+    pub fn between(truth: &DiGraph, predicted: &DiGraph) -> Self {
+        assert_eq!(
+            truth.node_count(),
+            predicted.node_count(),
+            "graphs must share a node set"
+        );
+        let d = truth.node_count();
+        let mut tp = 0;
+        let mut fp = 0;
+        let mut fn_ = 0;
+        for (u, v) in predicted.edges() {
+            if truth.has_edge(u, v) {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+        }
+        for (u, v) in truth.edges() {
+            if !predicted.has_edge(u, v) {
+                fn_ += 1;
+            }
+        }
+        let decisions = d * d.saturating_sub(1);
+        let tn = decisions - tp - fp - fn_;
+        Self { true_positives: tp, false_positives: fp, false_negatives: fn_, true_negatives: tn }
+    }
+
+    /// Derived rates, with the 0/0 = 0 convention for degenerate cases.
+    pub fn metrics(&self) -> EdgeMetrics {
+        let tp = self.true_positives as f64;
+        let fp = self.false_positives as f64;
+        let fn_ = self.false_negatives as f64;
+        let tn = self.true_negatives as f64;
+        let safe = |num: f64, den: f64| if den > 0.0 { num / den } else { 0.0 };
+        let precision = safe(tp, tp + fp);
+        let recall = safe(tp, tp + fn_);
+        EdgeMetrics {
+            precision,
+            recall,
+            f1: safe(2.0 * precision * recall, precision + recall),
+            fdr: safe(fp, tp + fp),
+            tpr: recall,
+            fpr: safe(fp, fp + tn),
+            predicted_edges: self.true_positives + self.false_positives,
+            true_edges: self.true_positives + self.false_negatives,
+            true_positive_edges: self.true_positives,
+        }
+    }
+}
+
+/// The rates reported in the paper's tables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeMetrics {
+    /// TP / (TP + FP).
+    pub precision: f64,
+    /// TP / (TP + FN).
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+    /// False discovery rate FP / (TP + FP).
+    pub fdr: f64,
+    /// True positive rate (= recall).
+    pub tpr: f64,
+    /// False positive rate FP / (FP + TN).
+    pub fpr: f64,
+    /// Number of predicted edges ("# of Predicted Edges" row).
+    pub predicted_edges: usize,
+    /// Number of ground-truth edges ("# of Exact Edges" row).
+    pub true_edges: usize,
+    /// Number of true-positive predictions ("# of True Positive Edges").
+    pub true_positive_edges: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth() -> DiGraph {
+        DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn perfect_prediction() {
+        let c = EdgeConfusion::between(&truth(), &truth());
+        assert_eq!(c.true_positives, 3);
+        assert_eq!(c.false_positives, 0);
+        assert_eq!(c.false_negatives, 0);
+        let m = c.metrics();
+        assert_eq!(m.f1, 1.0);
+        assert_eq!(m.fdr, 0.0);
+        assert_eq!(m.tpr, 1.0);
+        assert_eq!(m.fpr, 0.0);
+    }
+
+    #[test]
+    fn empty_prediction() {
+        let c = EdgeConfusion::between(&truth(), &DiGraph::new(4));
+        assert_eq!(c.true_positives, 0);
+        assert_eq!(c.false_negatives, 3);
+        let m = c.metrics();
+        assert_eq!(m.f1, 0.0);
+        assert_eq!(m.recall, 0.0);
+        assert_eq!(m.fdr, 0.0); // 0/0 convention
+    }
+
+    #[test]
+    fn reversed_edge_is_fp_and_fn() {
+        let pred = DiGraph::from_edges(4, &[(1, 0), (1, 2), (2, 3)]);
+        let c = EdgeConfusion::between(&truth(), &pred);
+        assert_eq!(c.true_positives, 2);
+        assert_eq!(c.false_positives, 1);
+        assert_eq!(c.false_negatives, 1);
+    }
+
+    #[test]
+    fn extra_edge_counts_fp() {
+        let pred = DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]);
+        let c = EdgeConfusion::between(&truth(), &pred);
+        assert_eq!(c.false_positives, 1);
+        let m = c.metrics();
+        assert!((m.fdr - 0.25).abs() < 1e-12);
+        assert_eq!(m.predicted_edges, 4);
+        assert_eq!(m.true_edges, 3);
+    }
+
+    #[test]
+    fn tn_counts_off_diagonal_pairs() {
+        let c = EdgeConfusion::between(&truth(), &truth());
+        // 4 nodes => 12 ordered off-diagonal pairs; 3 are edges.
+        assert_eq!(c.true_negatives, 9);
+    }
+
+    #[test]
+    fn f1_known_value() {
+        // TP=2, FP=1, FN=1 => precision 2/3, recall 2/3, F1 2/3.
+        let pred = DiGraph::from_edges(4, &[(0, 1), (1, 2), (3, 0)]);
+        let m = EdgeConfusion::between(&truth(), &pred).metrics();
+        assert!((m.f1 - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "share a node set")]
+    fn mismatched_node_counts_panic() {
+        EdgeConfusion::between(&truth(), &DiGraph::new(5));
+    }
+}

@@ -1,0 +1,129 @@
+//! Post-processing threshold sweep.
+//!
+//! The paper's evaluation (Section V-A): "after optimizing the result matrix
+//! W to a small tolerance value ε, we filter it using a small threshold τ to
+//! obtain W′ ... We apply a grid search for the two hyper-parameters ε ∈
+//! {1e-1..1e-4} and τ ∈ {0.1..0.5}, and report the result of the best
+//! case." The ε sweep happens at the solver level; this module implements
+//! the τ sweep given one learned `W`.
+
+use crate::confusion::{EdgeConfusion, EdgeMetrics};
+use crate::shd::structural_hamming_distance;
+use least_graph::DiGraph;
+use least_linalg::DenseMatrix;
+
+/// Metrics of one thresholding choice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThresholdSweepPoint {
+    /// The filter threshold τ applied to `|W|`.
+    pub tau: f64,
+    /// Edge-level rates at this threshold.
+    pub metrics: EdgeMetrics,
+    /// Structural Hamming distance at this threshold.
+    pub shd: usize,
+}
+
+/// Evaluate `w` against `truth` at a single threshold `tau`.
+pub fn evaluate_at_threshold(
+    truth: &DiGraph,
+    w: &DenseMatrix,
+    tau: f64,
+) -> ThresholdSweepPoint {
+    let predicted = DiGraph::from_dense(w, tau);
+    let metrics = EdgeConfusion::between(truth, &predicted).metrics();
+    let shd = structural_hamming_distance(truth, &predicted);
+    ThresholdSweepPoint { tau, metrics, shd }
+}
+
+/// Sweep the paper's τ grid and return every point plus the index of the
+/// best one (highest F1, ties broken by lower SHD).
+pub fn best_threshold(
+    truth: &DiGraph,
+    w: &DenseMatrix,
+    taus: &[f64],
+) -> (Vec<ThresholdSweepPoint>, usize) {
+    assert!(!taus.is_empty(), "threshold grid must be non-empty");
+    let points: Vec<ThresholdSweepPoint> =
+        taus.iter().map(|&tau| evaluate_at_threshold(truth, w, tau)).collect();
+    let mut best = 0;
+    for (i, p) in points.iter().enumerate().skip(1) {
+        let better = p.metrics.f1 > points[best].metrics.f1
+            || (p.metrics.f1 == points[best].metrics.f1 && p.shd < points[best].shd);
+        if better {
+            best = i;
+        }
+    }
+    (points, best)
+}
+
+/// The paper's τ grid: {0.1, 0.2, 0.3, 0.4, 0.5}.
+pub fn paper_tau_grid() -> [f64; 5] {
+    [0.1, 0.2, 0.3, 0.4, 0.5]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (DiGraph, DenseMatrix) {
+        let truth = DiGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let mut w = DenseMatrix::zeros(3, 3);
+        w[(0, 1)] = 0.8; // strong true edge
+        w[(1, 2)] = 0.25; // weak true edge
+        w[(2, 0)] = 0.15; // spurious weak edge
+        (truth, w)
+    }
+
+    #[test]
+    fn low_threshold_keeps_noise() {
+        let (truth, w) = setup();
+        let p = evaluate_at_threshold(&truth, &w, 0.1);
+        assert_eq!(p.metrics.predicted_edges, 3);
+        assert_eq!(p.metrics.true_positive_edges, 2);
+        assert_eq!(p.shd, 1); // one extra edge
+    }
+
+    #[test]
+    fn mid_threshold_is_perfect_here() {
+        let (truth, w) = setup();
+        let p = evaluate_at_threshold(&truth, &w, 0.2);
+        assert_eq!(p.metrics.f1, 1.0);
+        assert_eq!(p.shd, 0);
+    }
+
+    #[test]
+    fn high_threshold_loses_weak_edge() {
+        let (truth, w) = setup();
+        let p = evaluate_at_threshold(&truth, &w, 0.5);
+        assert_eq!(p.metrics.predicted_edges, 1);
+        assert_eq!(p.shd, 1);
+    }
+
+    #[test]
+    fn sweep_finds_the_perfect_threshold() {
+        let (truth, w) = setup();
+        let (points, best) = best_threshold(&truth, &w, &paper_tau_grid());
+        assert_eq!(points.len(), 5);
+        assert_eq!(points[best].tau, 0.2);
+        assert_eq!(points[best].metrics.f1, 1.0);
+    }
+
+    #[test]
+    fn tie_break_prefers_lower_shd() {
+        let truth = DiGraph::from_edges(2, &[(0, 1)]);
+        let mut w = DenseMatrix::zeros(2, 2);
+        w[(0, 1)] = 0.8;
+        w[(1, 0)] = 0.3;
+        // tau=0.1 keeps the reversal (F1 on directed edges: tp=1, fp=1 =>
+        // precision 0.5, recall 1, F1 2/3); tau=0.4 drops it (F1 = 1).
+        let (points, best) = best_threshold(&truth, &w, &[0.1, 0.4]);
+        assert_eq!(points[best].tau, 0.4);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_grid_panics() {
+        let (truth, w) = setup();
+        best_threshold(&truth, &w, &[]);
+    }
+}

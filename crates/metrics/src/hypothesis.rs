@@ -1,0 +1,189 @@
+//! Hypothesis testing for the monitoring application.
+//!
+//! The paper's root-cause pipeline (Section VI-A): "we count the number of
+//! occurrences of P in the log data T and T′ ... and perform a statistical
+//! test to derive a p-value". We implement the standard two-proportion
+//! z-test (pooled), with the normal CDF via the Abramowitz–Stegun `erf`
+//! approximation (|error| < 1.5e-7, far below any p-value threshold in
+//! use).
+
+/// `erf(x)` by Abramowitz–Stegun 7.1.26.
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    const A1: f64 = 0.254829592;
+    const A2: f64 = -0.284496736;
+    const A3: f64 = 1.421413741;
+    const A4: f64 = -1.453152027;
+    const A5: f64 = 1.061405429;
+    const P: f64 = 0.3275911;
+    let t = 1.0 / (1.0 + P * x);
+    let poly = ((((A5 * t + A4) * t + A3) * t + A2) * t + A1) * t;
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Standard normal cumulative distribution function.
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Outcome of a two-proportion z-test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProportionTest {
+    /// The z statistic (positive when the current-window rate is higher).
+    pub z: f64,
+    /// One-sided p-value for "current rate > baseline rate".
+    pub p_value: f64,
+    /// Current-window proportion.
+    pub rate_current: f64,
+    /// Baseline-window proportion.
+    pub rate_baseline: f64,
+}
+
+/// Two-proportion z-test (pooled variance): did the event rate in the
+/// current window (`hits_cur` of `n_cur`) rise above the baseline window
+/// (`hits_base` of `n_base`)? Returns a one-sided p-value; small values
+/// mean the increase is unlikely under the null of equal rates.
+///
+/// Degenerate windows (zero trials) yield `p = 1` (no evidence).
+pub fn two_proportion_test(
+    hits_cur: usize,
+    n_cur: usize,
+    hits_base: usize,
+    n_base: usize,
+) -> ProportionTest {
+    if n_cur == 0 || n_base == 0 {
+        return ProportionTest { z: 0.0, p_value: 1.0, rate_current: 0.0, rate_baseline: 0.0 };
+    }
+    let p1 = hits_cur as f64 / n_cur as f64;
+    let p2 = hits_base as f64 / n_base as f64;
+    let pooled = (hits_cur + hits_base) as f64 / (n_cur + n_base) as f64;
+    let se = (pooled * (1.0 - pooled) * (1.0 / n_cur as f64 + 1.0 / n_base as f64)).sqrt();
+    if se == 0.0 {
+        // Both windows all-zero or all-one: no evidence of change.
+        return ProportionTest { z: 0.0, p_value: 1.0, rate_current: p1, rate_baseline: p2 };
+    }
+    let z = (p1 - p2) / se;
+    ProportionTest { z, p_value: 1.0 - normal_cdf(z), rate_current: p1, rate_baseline: p2 }
+}
+
+/// Benjamini–Hochberg step-up procedure: given raw p-values, return a
+/// boolean per test marking rejection at false-discovery rate `q`.
+///
+/// The monitoring pipeline evaluates one z-test per candidate root-cause
+/// path — dozens per window — so controlling the FDR rather than the
+/// per-test level keeps the false-alarm share bounded as candidate counts
+/// grow (the paper reports a 3% false-alarm share in production).
+pub fn benjamini_hochberg(p_values: &[f64], q: f64) -> Vec<bool> {
+    let m = p_values.len();
+    if m == 0 {
+        return Vec::new();
+    }
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by(|&a, &b| {
+        p_values[a].partial_cmp(&p_values[b]).expect("p-values must not be NaN")
+    });
+    // Largest k with p_(k) <= k/m * q (1-based k).
+    let mut cutoff_rank = None;
+    for (rank, &idx) in order.iter().enumerate() {
+        let threshold = (rank + 1) as f64 / m as f64 * q;
+        if p_values[idx] <= threshold {
+            cutoff_rank = Some(rank);
+        }
+    }
+    let mut reject = vec![false; m];
+    if let Some(k) = cutoff_rank {
+        for &idx in &order[..=k] {
+            reject[idx] = true;
+        }
+    }
+    reject
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_known_values() {
+        // The A&S 7.1.26 approximation has |error| <= 1.5e-7 everywhere.
+        assert!(erf(0.0).abs() < 1e-6);
+        assert!((erf(1.0) - 0.8427007929).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.8427007929).abs() < 1e-6);
+        assert!((erf(2.0) - 0.9953222650).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normal_cdf_known_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-6);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+    }
+
+    #[test]
+    fn obvious_increase_is_significant() {
+        // 30% error rate vs 2% baseline over 500 trials each.
+        let t = two_proportion_test(150, 500, 10, 500);
+        assert!(t.p_value < 1e-6, "p = {}", t.p_value);
+        assert!(t.z > 5.0);
+    }
+
+    #[test]
+    fn equal_rates_are_not_significant() {
+        let t = two_proportion_test(25, 500, 24, 480);
+        assert!(t.p_value > 0.3, "p = {}", t.p_value);
+    }
+
+    #[test]
+    fn decrease_is_not_flagged_one_sided() {
+        let t = two_proportion_test(5, 500, 50, 500);
+        assert!(t.p_value > 0.99, "p = {}", t.p_value);
+        assert!(t.z < 0.0);
+    }
+
+    #[test]
+    fn degenerate_windows_yield_p_one() {
+        assert_eq!(two_proportion_test(0, 0, 5, 100).p_value, 1.0);
+        assert_eq!(two_proportion_test(5, 100, 0, 0).p_value, 1.0);
+        assert_eq!(two_proportion_test(0, 100, 0, 100).p_value, 1.0);
+    }
+
+    #[test]
+    fn small_sample_moderate_evidence() {
+        // 3/20 vs 1/20: suggestive but not conclusive.
+        let t = two_proportion_test(3, 20, 1, 20);
+        assert!(t.p_value > 0.05 && t.p_value < 0.5, "p = {}", t.p_value);
+    }
+
+    #[test]
+    fn bh_rejects_obvious_signals_keeps_nulls() {
+        // Two real signals among eight uniform-ish nulls.
+        let p = [1e-8, 0.4, 0.7, 2e-6, 0.9, 0.55, 0.33, 0.81, 0.62, 0.47];
+        let reject = benjamini_hochberg(&p, 0.05);
+        assert!(reject[0] && reject[3]);
+        assert_eq!(reject.iter().filter(|&&r| r).count(), 2);
+    }
+
+    #[test]
+    fn bh_step_up_includes_borderline_below_cutoff() {
+        // Classic step-up behaviour: p_(2) alone fails 2/3·q but p_(3)
+        // passing 3/3·q rescues everything ranked below it.
+        let q = 0.15;
+        let p = [0.04, 0.10, 0.14];
+        let reject = benjamini_hochberg(&p, q);
+        assert_eq!(reject, vec![true, true, true]);
+    }
+
+    #[test]
+    fn bh_rejects_nothing_on_uniform_nulls() {
+        let p = [0.2, 0.5, 0.9, 0.35, 0.75];
+        assert!(benjamini_hochberg(&p, 0.05).iter().all(|&r| !r));
+    }
+
+    #[test]
+    fn bh_handles_empty_and_single() {
+        assert!(benjamini_hochberg(&[], 0.1).is_empty());
+        assert_eq!(benjamini_hochberg(&[0.01], 0.05), vec![true]);
+        assert_eq!(benjamini_hochberg(&[0.5], 0.05), vec![false]);
+    }
+}

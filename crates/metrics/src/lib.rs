@@ -1,0 +1,25 @@
+//! # least-metrics
+//!
+//! Structure-recovery metrics implementing the paper's evaluation protocol:
+//!
+//! * [`confusion`] — edge-level confusion counts and the derived rates the
+//!   gene-data table reports: FDR, TPR, FPR, precision, recall, F1;
+//! * [`shd`] — Structural Hamming Distance with the standard
+//!   reversed-edge-counts-once convention;
+//! * [`auc`] — AUC-ROC over edge scores `|W[i,j]|` via the Mann–Whitney
+//!   rank statistic;
+//! * [`grid`] — the `(ε, τ)` post-processing grid search of Section V-A
+//!   ("we filter it using a small threshold τ ... and report the result of
+//!   the best case").
+
+pub mod auc;
+pub mod confusion;
+pub mod grid;
+pub mod hypothesis;
+pub mod shd;
+
+pub use auc::auc_roc;
+pub use confusion::{EdgeConfusion, EdgeMetrics};
+pub use grid::{best_threshold, ThresholdSweepPoint};
+pub use hypothesis::{normal_cdf, two_proportion_test, ProportionTest};
+pub use shd::structural_hamming_distance;

@@ -1,0 +1,112 @@
+//! Structural Hamming Distance.
+//!
+//! SHD is the minimum number of edge edits — insertions, deletions,
+//! reversals — transforming the predicted graph into the truth. The
+//! standard convention (used by NOTEARS and therefore the paper) charges a
+//! reversed edge **once**, not twice.
+
+use least_graph::DiGraph;
+
+/// SHD between two graphs on the same node set.
+pub fn structural_hamming_distance(truth: &DiGraph, predicted: &DiGraph) -> usize {
+    assert_eq!(
+        truth.node_count(),
+        predicted.node_count(),
+        "graphs must share a node set"
+    );
+    let mut shd = 0;
+    // Examine unordered pairs once, classifying the (truth, predicted)
+    // relationship between i and j.
+    let d = truth.node_count();
+    for i in 0..d {
+        for j in (i + 1)..d {
+            let t_ij = truth.has_edge(i, j);
+            let t_ji = truth.has_edge(j, i);
+            let p_ij = predicted.has_edge(i, j);
+            let p_ji = predicted.has_edge(j, i);
+            // Encode each side: 0 = none, 1 = i->j, 2 = j->i, 3 = both.
+            let t = (t_ij as u8) | ((t_ji as u8) << 1);
+            let p = (p_ij as u8) | ((p_ji as u8) << 1);
+            if t == p {
+                continue;
+            }
+            shd += match (t, p) {
+                // Reversal: one edit.
+                (1, 2) | (2, 1) => 1,
+                // One side empty, other single edge: add or delete.
+                (0, 1) | (0, 2) | (1, 0) | (2, 0) => 1,
+                // Double edge vs single: one add/delete.
+                (3, 1) | (3, 2) | (1, 3) | (2, 3) => 1,
+                // Double edge vs none: two edits.
+                (3, 0) | (0, 3) => 2,
+                _ => unreachable!("cases exhausted"),
+            };
+        }
+    }
+    shd
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth() -> DiGraph {
+        DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn identical_graphs_have_zero_shd() {
+        assert_eq!(structural_hamming_distance(&truth(), &truth()), 0);
+    }
+
+    #[test]
+    fn missing_edge_costs_one() {
+        let pred = DiGraph::from_edges(4, &[(0, 1), (1, 2)]);
+        assert_eq!(structural_hamming_distance(&truth(), &pred), 1);
+    }
+
+    #[test]
+    fn extra_edge_costs_one() {
+        let pred = DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 2)]);
+        assert_eq!(structural_hamming_distance(&truth(), &pred), 1);
+    }
+
+    #[test]
+    fn reversed_edge_costs_one_not_two() {
+        let pred = DiGraph::from_edges(4, &[(1, 0), (1, 2), (2, 3)]);
+        assert_eq!(structural_hamming_distance(&truth(), &pred), 1);
+    }
+
+    #[test]
+    fn empty_prediction_costs_edge_count() {
+        assert_eq!(structural_hamming_distance(&truth(), &DiGraph::new(4)), 3);
+    }
+
+    #[test]
+    fn symmetric_in_arguments() {
+        let pred = DiGraph::from_edges(4, &[(1, 0), (0, 2)]);
+        let t = truth();
+        assert_eq!(
+            structural_hamming_distance(&t, &pred),
+            structural_hamming_distance(&pred, &t)
+        );
+    }
+
+    #[test]
+    fn double_edge_vs_none_costs_two() {
+        let two_cycle = DiGraph::from_edges(2, &[(0, 1), (1, 0)]);
+        let empty = DiGraph::new(2);
+        assert_eq!(structural_hamming_distance(&two_cycle, &empty), 2);
+    }
+
+    #[test]
+    fn triangle_inequality_spot_check() {
+        let a = DiGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let b = DiGraph::from_edges(3, &[(1, 0)]);
+        let c = DiGraph::from_edges(3, &[(0, 2), (2, 1)]);
+        let ab = structural_hamming_distance(&a, &b);
+        let bc = structural_hamming_distance(&b, &c);
+        let ac = structural_hamming_distance(&a, &c);
+        assert!(ac <= ab + bc, "{ac} > {ab} + {bc}");
+    }
+}

@@ -1,0 +1,26 @@
+//! # least-notears
+//!
+//! The comparison baseline: NOTEARS (Zheng et al., NeurIPS 2018), the
+//! state-of-the-art method the paper evaluates against, plus the
+//! polynomial relaxation of DAG-GNN (Yu et al., ICML 2019) that the paper
+//! discusses as Eq. (3).
+//!
+//! Both are expressed as [`least_core::Acyclicity`] implementations and run
+//! on the *same* augmented-Lagrangian/Adam solver as LEAST
+//! ([`least_core::LeastDense::fit_with_constraint`]), so benchmark
+//! differences measure exactly what the paper claims: the `O(d³)` matrix
+//! exponential / matrix power versus the `O(k·nnz)` spectral bound.
+//!
+//! Like the paper's TensorFlow NOTEARS (the implementation of \[18\] they
+//! benchmark), the inner optimizer is Adam rather than the original
+//! paper's L-BFGS-B — documented in DESIGN.md §6.
+
+pub mod expm_constraint;
+pub mod poly_constraint;
+pub mod radius_constraint;
+pub mod solver;
+
+pub use expm_constraint::ExpAcyclicity;
+pub use poly_constraint::PolyAcyclicity;
+pub use radius_constraint::RadiusAcyclicity;
+pub use solver::Notears;

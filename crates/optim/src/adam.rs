@@ -1,0 +1,192 @@
+//! Adam optimizer over flat parameter buffers.
+//!
+//! The paper uses Adam \[15\] for the `INNER` procedure "since it exhibits
+//! fast convergence and does not generate dense matrices during the
+//! computation process" — the latter because Adam's state is element-wise,
+//! so a sparse parameter vector needs only two extra arrays of the same
+//! length. [`AdamState::compact`] keeps those arrays aligned when the
+//! paper's thresholding step deletes parameters mid-run.
+
+/// Adam hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct AdamConfig {
+    /// Step size (paper setting: 0.01).
+    pub learning_rate: f64,
+    /// First-moment decay (default 0.9).
+    pub beta1: f64,
+    /// Second-moment decay (default 0.999).
+    pub beta2: f64,
+    /// Denominator fuzz (default 1e-8).
+    pub epsilon: f64,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        Self { learning_rate: 0.01, beta1: 0.9, beta2: 0.999, epsilon: 1e-8 }
+    }
+}
+
+/// Per-parameter Adam state (first and second moments plus step count).
+#[derive(Debug, Clone)]
+pub struct AdamState {
+    cfg: AdamConfig,
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+}
+
+impl AdamState {
+    /// Fresh state for `len` parameters.
+    pub fn new(len: usize, cfg: AdamConfig) -> Self {
+        Self { cfg, m: vec![0.0; len], v: vec![0.0; len], t: 0 }
+    }
+
+    /// Number of tracked parameters.
+    pub fn len(&self) -> usize {
+        self.m.len()
+    }
+
+    /// True when tracking no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.m.is_empty()
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Apply one Adam update: `params -= lr · m̂ / (sqrt(v̂) + ε)`.
+    ///
+    /// Panics when `params`/`grad` length diverges from the state — that is
+    /// a solver bookkeeping bug, not a runtime condition.
+    pub fn step(&mut self, params: &mut [f64], grad: &[f64]) {
+        assert_eq!(params.len(), self.m.len(), "parameter/state length mismatch");
+        assert_eq!(grad.len(), self.m.len(), "gradient/state length mismatch");
+        self.t += 1;
+        let AdamConfig { learning_rate, beta1, beta2, epsilon } = self.cfg;
+        let bias1 = 1.0 - beta1.powi(self.t as i32);
+        let bias2 = 1.0 - beta2.powi(self.t as i32);
+        for ((p, &g), (m, v)) in params
+            .iter_mut()
+            .zip(grad)
+            .zip(self.m.iter_mut().zip(self.v.iter_mut()))
+        {
+            *m = beta1 * *m + (1.0 - beta1) * g;
+            *v = beta2 * *v + (1.0 - beta2) * g * g;
+            let m_hat = *m / bias1;
+            let v_hat = *v / bias2;
+            *p -= learning_rate * m_hat / (v_hat.sqrt() + epsilon);
+        }
+    }
+
+    /// Keep only the moments at the given (sorted, unique) previous slots —
+    /// the index list returned by `CsrMatrix::retain`/`threshold` — so the
+    /// optimizer state stays aligned with a compacted sparse pattern.
+    pub fn compact(&mut self, kept_slots: &[u32]) {
+        debug_assert!(kept_slots.windows(2).all(|w| w[0] < w[1]), "slots must be sorted unique");
+        let mut write = 0usize;
+        for &slot in kept_slots {
+            let slot = slot as usize;
+            self.m[write] = self.m[slot];
+            self.v[write] = self.v[slot];
+            write += 1;
+        }
+        self.m.truncate(write);
+        self.v.truncate(write);
+    }
+
+    /// Reset moments and step count (used when the outer augmented
+    /// Lagrangian loop re-initializes `W`).
+    pub fn reset(&mut self) {
+        self.m.iter_mut().for_each(|x| *x = 0.0);
+        self.v.iter_mut().for_each(|x| *x = 0.0);
+        self.t = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic() {
+        // f(x) = (x - 3)², gradient 2(x - 3).
+        let mut state = AdamState::new(1, AdamConfig { learning_rate: 0.1, ..Default::default() });
+        let mut x = [0.0];
+        for _ in 0..500 {
+            let g = [2.0 * (x[0] - 3.0)];
+            state.step(&mut x, &g);
+        }
+        assert!((x[0] - 3.0).abs() < 1e-3, "x = {}", x[0]);
+    }
+
+    #[test]
+    fn minimizes_multivariate_quadratic() {
+        // f(x) = Σ cᵢ(xᵢ - tᵢ)² with very different curvatures — Adam's
+        // per-coordinate scaling should still converge on all of them.
+        let targets = [1.0, -2.0, 0.5, 10.0];
+        let curv = [100.0, 1.0, 0.01, 5.0];
+        let mut state = AdamState::new(4, AdamConfig { learning_rate: 0.05, ..Default::default() });
+        let mut x = [0.0; 4];
+        for _ in 0..5000 {
+            let g: Vec<f64> = x
+                .iter()
+                .zip(&targets)
+                .zip(&curv)
+                .map(|((&xi, &t), &c)| 2.0 * c * (xi - t))
+                .collect();
+            state.step(&mut x, &g);
+        }
+        for (xi, t) in x.iter().zip(&targets) {
+            assert!((xi - t).abs() < 0.05, "x {xi} target {t}");
+        }
+    }
+
+    #[test]
+    fn first_step_magnitude_is_learning_rate() {
+        // With bias correction the very first Adam step is ≈ lr·sign(g).
+        let mut state = AdamState::new(1, AdamConfig { learning_rate: 0.01, ..Default::default() });
+        let mut x = [0.0];
+        state.step(&mut x, &[42.0]);
+        assert!((x[0] + 0.01).abs() < 1e-6, "x = {}", x[0]);
+    }
+
+    #[test]
+    fn compact_keeps_selected_moments() {
+        let mut state = AdamState::new(4, AdamConfig::default());
+        let mut x = [0.0; 4];
+        state.step(&mut x, &[1.0, 2.0, 3.0, 4.0]);
+        let m_before = state.m.clone();
+        state.compact(&[1, 3]);
+        assert_eq!(state.len(), 2);
+        assert_eq!(state.m, vec![m_before[1], m_before[3]]);
+    }
+
+    #[test]
+    fn compact_to_empty() {
+        let mut state = AdamState::new(3, AdamConfig::default());
+        state.compact(&[]);
+        assert!(state.is_empty());
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut state = AdamState::new(2, AdamConfig::default());
+        let mut x = [0.0; 2];
+        state.step(&mut x, &[1.0, 1.0]);
+        assert_eq!(state.steps(), 1);
+        state.reset();
+        assert_eq!(state.steps(), 0);
+        assert!(state.m.iter().all(|&v| v == 0.0));
+        assert!(state.v.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let mut state = AdamState::new(2, AdamConfig::default());
+        let mut x = [0.0; 3];
+        state.step(&mut x, &[1.0, 1.0, 1.0]);
+    }
+}

@@ -1,0 +1,155 @@
+//! Augmented Lagrangian bookkeeping.
+//!
+//! Both LEAST (Fig. 3) and the NOTEARS baseline minimize
+//!
+//! ```text
+//! ℓ(W) = L(W, X) + (ρ/2)·c(W)² + η·c(W)
+//! ```
+//!
+//! for a non-negative acyclicity measure `c` (the spectral bound `δ̄` or
+//! `h`), then update `η ← η + ρ·c(W*)` and grow `ρ` until `c(W*) ≤ ε`.
+//! This type owns that outer-loop state so both solvers share identical
+//! schedule logic.
+
+/// Outer-loop hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct AugLagConfig {
+    /// Initial penalty weight `ρ` (paper: 1).
+    pub rho_init: f64,
+    /// Initial multiplier `η` (paper: 1).
+    pub eta_init: f64,
+    /// Multiplicative growth of `ρ` per outer round ("enlarge ρ by a small
+    /// factor", Fig. 3 line 5; we default to 10, the NOTEARS convention).
+    pub rho_growth: f64,
+    /// Cap on `ρ` to avoid numerical overflow in pathological runs.
+    pub rho_max: f64,
+    /// Constraint tolerance `ε`: the loop stops once `c(W*) ≤ ε`.
+    pub tolerance: f64,
+    /// Maximum outer rounds `T_o` (paper: 1000; practical runs stop far
+    /// earlier via `tolerance`).
+    pub max_outer: usize,
+}
+
+impl Default for AugLagConfig {
+    fn default() -> Self {
+        Self {
+            rho_init: 1.0,
+            eta_init: 1.0,
+            rho_growth: 10.0,
+            rho_max: 1e16,
+            tolerance: 1e-8,
+            max_outer: 100,
+        }
+    }
+}
+
+/// Mutable outer-loop state.
+#[derive(Debug, Clone, Copy)]
+pub struct AugLagState {
+    cfg: AugLagConfig,
+    /// Current penalty weight.
+    pub rho: f64,
+    /// Current Lagrange multiplier.
+    pub eta: f64,
+    /// Completed outer rounds.
+    pub round: usize,
+}
+
+impl AugLagState {
+    /// Initialize from a config.
+    pub fn new(cfg: AugLagConfig) -> Self {
+        Self { cfg, rho: cfg.rho_init, eta: cfg.eta_init, round: 0 }
+    }
+
+    /// Penalty terms `(ρ/2)c² + ηc` for the current state.
+    pub fn penalty(&self, c: f64) -> f64 {
+        0.5 * self.rho * c * c + self.eta * c
+    }
+
+    /// d(penalty)/dc — the factor multiplying `∇c` in the total gradient.
+    pub fn penalty_grad_coeff(&self, c: f64) -> f64 {
+        self.rho * c + self.eta
+    }
+
+    /// Record an outer round that ended with constraint value `c`:
+    /// updates `η`, grows `ρ`, advances the round counter. Returns `true`
+    /// when the loop should *continue* (not converged, budget left).
+    pub fn advance(&mut self, c: f64) -> bool {
+        self.round += 1;
+        if c <= self.cfg.tolerance {
+            return false;
+        }
+        self.eta += self.rho * c;
+        self.rho = (self.rho * self.cfg.rho_growth).min(self.cfg.rho_max);
+        self.round < self.cfg.max_outer
+    }
+
+    /// True when the last observed constraint value meets the tolerance.
+    pub fn converged(&self, c: f64) -> bool {
+        c <= self.cfg.tolerance
+    }
+
+    /// The configured tolerance `ε`.
+    pub fn tolerance(&self) -> f64 {
+        self.cfg.tolerance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn penalty_values() {
+        let st = AugLagState::new(AugLagConfig { rho_init: 2.0, eta_init: 3.0, ..Default::default() });
+        // (2/2)·4 + 3·2 = 10
+        assert_eq!(st.penalty(2.0), 10.0);
+        assert_eq!(st.penalty_grad_coeff(2.0), 7.0);
+        assert_eq!(st.penalty(0.0), 0.0);
+    }
+
+    #[test]
+    fn advance_grows_rho_and_eta() {
+        let mut st = AugLagState::new(AugLagConfig::default());
+        let more = st.advance(0.5);
+        assert!(more);
+        assert_eq!(st.eta, 1.0 + 0.5); // eta + rho*c = 1 + 1*0.5
+        assert_eq!(st.rho, 10.0);
+        assert_eq!(st.round, 1);
+    }
+
+    #[test]
+    fn advance_stops_on_convergence() {
+        let mut st = AugLagState::new(AugLagConfig { tolerance: 1e-4, ..Default::default() });
+        assert!(!st.advance(1e-5));
+        // eta/rho untouched on the converged exit.
+        assert_eq!(st.eta, 1.0);
+        assert_eq!(st.rho, 1.0);
+    }
+
+    #[test]
+    fn advance_stops_on_budget() {
+        let mut st = AugLagState::new(AugLagConfig { max_outer: 2, ..Default::default() });
+        assert!(st.advance(1.0));
+        assert!(!st.advance(1.0));
+        assert_eq!(st.round, 2);
+    }
+
+    #[test]
+    fn rho_is_capped() {
+        let mut st =
+            AugLagState::new(AugLagConfig { rho_max: 50.0, rho_growth: 10.0, ..Default::default() });
+        st.advance(1.0);
+        st.advance(1.0);
+        st.advance(1.0);
+        assert_eq!(st.rho, 50.0);
+    }
+
+    #[test]
+    fn multiplier_accumulates_constraint_history() {
+        let mut st = AugLagState::new(AugLagConfig::default());
+        st.advance(0.3); // eta = 1 + 0.3
+        st.advance(0.2); // eta = 1.3 + 10*0.2 = 3.3
+        assert!((st.eta - 3.3).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,18 @@
+//! # least-optim
+//!
+//! Optimizer substrate. The paper's solver (Fig. 3) is an augmented
+//! Lagrangian outer loop around an Adam-driven inner loop; both LEAST and
+//! the NOTEARS baseline share these pieces so that benchmark comparisons
+//! isolate the acyclicity constraint, not optimizer differences.
+//!
+//! * [`adam::AdamState`] — Adam over a flat `f64` buffer (works for dense
+//!   matrices and for CSR value arrays alike) with support for compacting
+//!   its moments when sparse thresholding shrinks the parameter vector;
+//! * [`lagrangian`] — the generic augmented-Lagrangian driver: penalty and
+//!   multiplier updates `η ← η + ρ·c(W*)`, `ρ ← ρ·growth`.
+
+pub mod adam;
+pub mod lagrangian;
+
+pub use adam::{AdamConfig, AdamState};
+pub use lagrangian::{AugLagConfig, AugLagState};

@@ -1,0 +1,67 @@
+//! The flight-booking monitoring scenario of the paper's Section VI-A:
+//! detect an injected incident and report its root-cause path.
+//!
+//! Simulates two half-hour log windows of a ticket-booking system. The
+//! second window carries an outage ("airline SL's booking system breaks
+//! step 3 for fare sources 1 and 2" — compare the paper's Table II rows).
+//! The monitor learns a BN on the current window, walks paths into the
+//! error nodes and scores them against the baseline window.
+//!
+//! ```text
+//! cargo run --release --example anomaly_monitoring
+//! ```
+
+use least_bn::apps::monitor::{
+    AnomalyCategory, AnomalySpec, BookingSchema, BookingSimulator, MonitorConfig, WindowDetector,
+};
+
+fn main() {
+    let schema = BookingSchema::default();
+    let mut sim = BookingSimulator::new(schema.clone(), 2024);
+    println!(
+        "schema: {} airlines, {} fare sources, {} agents, {} cities => {} BN nodes",
+        schema.airlines,
+        schema.fare_sources,
+        schema.agents,
+        schema.cities,
+        schema.num_nodes()
+    );
+
+    // Quiet baseline window.
+    let baseline = sim.window(8000, &[]);
+    let base_errors = baseline.records.iter().filter(|r| r.failed_step.is_some()).count();
+    println!("baseline window: 8000 bookings, {base_errors} errors");
+
+    // Incident window: airline SL fails step 3 through two fare sources.
+    let incident = AnomalySpec {
+        category: AnomalyCategory::ExternalSystem,
+        step: 2,
+        airline: Some(1), // "SL"
+        fare_sources: vec![1, 2],
+        agent: None,
+        arrival: None,
+        error_rate: 0.55,
+    };
+    let current = sim.window(8000, std::slice::from_ref(&incident));
+    let cur_errors = current.records.iter().filter(|r| r.failed_step.is_some()).count();
+    println!("incident window: 8000 bookings, {cur_errors} errors");
+
+    // Detect.
+    let detector = WindowDetector::new(schema, MonitorConfig::default());
+    let reports = detector.detect(&current, &baseline).expect("detection");
+    println!("\n{} anomaly report(s):", reports.len());
+    for r in &reports {
+        println!(
+            "  [p={:.2e}] {}   (rate {:.1}% -> {:.1}%)",
+            r.p_value,
+            r.description,
+            100.0 * r.rate_baseline,
+            100.0 * r.rate_current
+        );
+    }
+    assert!(
+        reports.iter().any(|r| r.step == 2 && r.description.contains("Airline-SL")),
+        "the injected root cause should be reported"
+    );
+    println!("\ninjected root cause (Airline-SL, step 3) correctly identified ✓");
+}

@@ -1,0 +1,60 @@
+//! Beyond structure: the full Bayesian-network workflow.
+//!
+//! Learns a structure with LEAST, fits the conditional distributions on it
+//! ([`least_bn::core::FittedSem`]), then uses the resulting generative
+//! model: log-likelihood scoring, model comparison and fresh sampling —
+//! what a downstream user actually does with a learned BN.
+//!
+//! ```text
+//! cargo run --release --example fitted_model
+//! ```
+
+use least_bn::core::{FittedSem, LeastConfig, LeastDense};
+use least_bn::data::{sample_lsem, Dataset, NoiseModel};
+use least_bn::graph::{erdos_renyi_dag, weighted_adjacency_dense, DiGraph, WeightRange};
+use least_bn::linalg::Xoshiro256pp;
+
+fn main() {
+    let seed = 7007;
+    let mut rng = Xoshiro256pp::new(seed);
+
+    // Hidden truth and training data.
+    let truth = erdos_renyi_dag(15, 2, &mut rng);
+    let w = weighted_adjacency_dense(&truth, WeightRange { lo: 0.8, hi: 1.6 }, &mut rng);
+    let train = Dataset::new(
+        sample_lsem(&w, 1000, NoiseModel::standard_gaussian(), &mut rng).unwrap(),
+    );
+    let held_out = Dataset::new(
+        sample_lsem(&w, 1000, NoiseModel::standard_gaussian(), &mut rng).unwrap(),
+    );
+
+    // 1. Structure learning.
+    let mut cfg = LeastConfig { seed, max_inner: 400, ..Default::default() };
+    cfg.adam.learning_rate = 0.02;
+    let learned = LeastDense::new(cfg).unwrap().fit(&train).unwrap();
+    let structure = learned.graph(0.3);
+    println!(
+        "learned structure: {} edges (truth has {})",
+        structure.edge_count(),
+        truth.edge_count()
+    );
+
+    // 2. Parameter fitting on the learned DAG.
+    let model = FittedSem::fit(&structure, &train).expect("fit parameters");
+
+    // 3. Held-out log-likelihood: learned structure vs empty baseline.
+    let baseline = FittedSem::fit(&DiGraph::new(15), &train).unwrap();
+    let ll_model = model.mean_log_likelihood(&held_out);
+    let ll_baseline = baseline.mean_log_likelihood(&held_out);
+    println!("held-out mean log-likelihood: learned {ll_model:.3} vs empty {ll_baseline:.3}");
+    assert!(ll_model > ll_baseline, "structure must add predictive value");
+
+    // 4. Generate synthetic data from the fitted BN.
+    let synthetic = model.sample(5, &mut rng);
+    println!("\n5 samples from the fitted BN (first 6 variables):");
+    for row in synthetic.rows_iter() {
+        let head: Vec<String> = row.iter().take(6).map(|v| format!("{v:6.2}")).collect();
+        println!("  [{}]", head.join(", "));
+    }
+    println!("\nstructure adds {:.3} nats/sample over the independent model ✓", ll_model - ll_baseline);
+}

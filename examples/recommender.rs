@@ -1,0 +1,49 @@
+//! Explainable recommendation (the paper's Section VI-C): learn an
+//! item-to-item influence DAG from user ratings, print the strongest
+//! edges (Table IV) and show the blockbuster in-degree phenomenon.
+//!
+//! ```text
+//! cargo run --release --example recommender
+//! ```
+
+use least_bn::apps::recom::{degree_profile, top_edges, Catalog, RatingsSimulator};
+use least_bn::core::{LeastConfig, LeastDense};
+use least_bn::linalg::{CsrMatrix, Xoshiro256pp};
+
+fn main() {
+    let seed = 3001;
+    let catalog = Catalog::generate(300, &mut Xoshiro256pp::new(seed));
+    println!("catalog: {} movies (8 franchises, 4 blockbusters, 4 niche films)", catalog.len());
+
+    let data = RatingsSimulator::default()
+        .dataset(&catalog, 2500, seed ^ 1)
+        .expect("ratings generation");
+    println!("ratings: {} users, mean-centered per user (paper preprocessing)", data.num_samples());
+
+    let mut config = LeastConfig {
+        lambda: 0.02,
+        theta: 0.02,
+        max_outer: 8,
+        max_inner: 400,
+        seed,
+        ..Default::default()
+    };
+    config.adam.learning_rate = 0.02;
+    let result = LeastDense::new(config).expect("config").fit(&data).expect("fit");
+    println!(
+        "learned item graph: constraint={:.1e} after {} rounds",
+        result.final_constraint, result.rounds
+    );
+
+    let learned = CsrMatrix::from_dense(&result.weights, 0.05);
+    println!("\nTop-10 learned edges (compare the paper's Table IV):");
+    for row in top_edges(&catalog, &learned, 10) {
+        println!("  {:<48} -> {:<48} {:+.3}  [{}]", row.from, row.to, row.weight, row.remark);
+    }
+
+    println!("\nHighest in-degree movies (the 'blockbuster' phenomenon):");
+    let graph = result.graph(0.05);
+    for p in degree_profile(&catalog, &graph).into_iter().take(6) {
+        println!("  {:<48} in={} out={}", p.title, p.in_degree, p.out_degree);
+    }
+}

@@ -1,0 +1,67 @@
+//! Scalability demo: LEAST-SP on a graph far beyond dense-solver reach.
+//!
+//! Learns on a 20,000-node sparse LSEM dataset — a dense `W` would need
+//! 3.2 GB; the sparse solver's state is a few MB. Tracks the spectral
+//! bound and the exact (SCC-decomposed) `h(W)` per round, the same pair of
+//! curves as the paper's Fig. 5.
+//!
+//! ```text
+//! cargo run --release --example scaling
+//! ```
+
+use least_bn::core::{LeastConfig, LeastSparse};
+use least_bn::data::{sample_lsem_sparse, Dataset, NoiseModel};
+use least_bn::graph::{erdos_renyi_dag, weighted_adjacency_sparse, WeightRange};
+use least_bn::linalg::Xoshiro256pp;
+use std::time::Instant;
+
+fn main() {
+    let d = 20_000;
+    let n = 800;
+    let seed = 5005;
+    let mut rng = Xoshiro256pp::new(seed);
+
+    let t0 = Instant::now();
+    let truth = erdos_renyi_dag(d, 2, &mut rng);
+    let w = weighted_adjacency_sparse(&truth, WeightRange::default(), &mut rng);
+    let x = sample_lsem_sparse(&w, n, NoiseModel::standard_gaussian(), &mut rng)
+        .expect("sampling");
+    let data = Dataset::new(x);
+    println!(
+        "generated: d={d} nodes, {} true edges, n={n} samples ({:.1}s)",
+        truth.edge_count(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    let mut config = LeastConfig {
+        init_density: Some(5e-4), // ~0.5 candidate edges per node pair mille
+        batch_size: Some(512),
+        theta: 1e-3,
+        lambda: 0.05,
+        epsilon: 1e-8,
+        max_outer: 6,
+        max_inner: 80,
+        track_h: true,
+        seed,
+        ..Default::default()
+    };
+    config.adam.learning_rate = 0.02;
+    let solver = LeastSparse::new(config).expect("config");
+    let result = solver.fit(&data).expect("fit");
+
+    println!("\nround  time(s)   delta        h            nnz");
+    for p in result.trace.points() {
+        println!(
+            "{:>5}  {:>7.1}  {:>10.3e}  {:>10.3e}  {:>8}",
+            p.round,
+            p.elapsed.as_secs_f64(),
+            p.delta,
+            p.h.unwrap_or(f64::NAN),
+            p.nnz
+        );
+    }
+    println!(
+        "\nfinal: constraint={:.2e} converged={} (h and δ̄ fall together — the Fig. 5 shape)",
+        result.final_constraint, result.converged
+    );
+}

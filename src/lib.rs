@@ -1,0 +1,42 @@
+//! # least-bn — facade crate
+//!
+//! Re-exports the full public API of the LEAST reproduction workspace.
+//! See the [README](https://github.com/example/least-bn) for the project
+//! overview and `DESIGN.md` for the system inventory.
+//!
+//! ## End-to-end example
+//!
+//! ```
+//! use least_bn::core::{FittedSem, LeastConfig, LeastDense};
+//! use least_bn::data::{sample_lsem, Dataset, NoiseModel};
+//! use least_bn::graph::{erdos_renyi_dag, weighted_adjacency_dense, WeightRange};
+//! use least_bn::linalg::Xoshiro256pp;
+//!
+//! // Ground truth DAG and observational data.
+//! let mut rng = Xoshiro256pp::new(7);
+//! let truth = erdos_renyi_dag(10, 2, &mut rng);
+//! let weights = weighted_adjacency_dense(&truth, WeightRange::default(), &mut rng);
+//! let x = sample_lsem(&weights, 200, NoiseModel::standard_gaussian(), &mut rng)?;
+//! let data = Dataset::new(x);
+//!
+//! // Structure learning with the spectral-bound constraint.
+//! let mut config = LeastConfig { seed: 7, max_outer: 4, max_inner: 60, ..Default::default() };
+//! config.adam.learning_rate = 0.02;
+//! let learned = LeastDense::new(config)?.fit(&data)?;
+//! let structure = learned.graph(0.3);
+//! assert!(structure.is_dag());
+//!
+//! // Parameterize the result as a usable generative model.
+//! let model = FittedSem::fit(&structure, &data)?;
+//! let _fresh_samples = model.sample(5, &mut rng);
+//! # Ok::<(), least_bn::linalg::LinalgError>(())
+//! ```
+
+pub use least_apps as apps;
+pub use least_core as core;
+pub use least_data as data;
+pub use least_graph as graph;
+pub use least_linalg as linalg;
+pub use least_metrics as metrics;
+pub use least_notears as notears;
+pub use least_optim as optim;

@@ -1,0 +1,137 @@
+//! Cross-crate integration tests: the full pipeline from graph generation
+//! through LSEM sampling, solving (both solvers, both constraints) and
+//! evaluation.
+
+use least_bn::core::{Acyclicity, LeastConfig, LeastDense, LeastSparse, SpectralBound};
+use least_bn::data::{sample_lsem, Dataset, NoiseModel};
+use least_bn::graph::{erdos_renyi_dag, weighted_adjacency_dense, DiGraph, WeightRange};
+use least_bn::linalg::{CsrMatrix, DenseMatrix, Xoshiro256pp};
+use least_bn::metrics::{best_threshold, grid::paper_tau_grid};
+use least_bn::notears::{ExpAcyclicity, Notears};
+
+fn er_instance(d: usize, n: usize, seed: u64) -> (DiGraph, Dataset) {
+    let mut rng = Xoshiro256pp::new(seed);
+    let truth = erdos_renyi_dag(d, 2, &mut rng);
+    let w = weighted_adjacency_dense(&truth, WeightRange { lo: 1.0, hi: 2.0 }, &mut rng);
+    let x = sample_lsem(&w, n, NoiseModel::standard_gaussian(), &mut rng).unwrap();
+    (truth, Dataset::new(x))
+}
+
+fn config(seed: u64) -> LeastConfig {
+    let mut cfg = LeastConfig {
+        lambda: 0.05,
+        epsilon: 1e-6,
+        max_outer: 10,
+        max_inner: 500,
+        seed,
+        ..Default::default()
+    };
+    cfg.adam.learning_rate = 0.02;
+    cfg
+}
+
+#[test]
+fn least_recovers_er_graph_end_to_end() {
+    let (truth, data) = er_instance(20, 400, 8001);
+    let result = LeastDense::new(config(8001)).unwrap().fit(&data).unwrap();
+    let (pts, best) = best_threshold(&truth, &result.weights, &paper_tau_grid());
+    assert!(pts[best].metrics.f1 > 0.7, "F1 {}", pts[best].metrics.f1);
+    assert!(result.graph(pts[best].tau).is_dag());
+}
+
+#[test]
+fn least_and_notears_comparable_on_er_graphs() {
+    // The Fig. 4 claim at integration-test scale: across a few instances,
+    // mean F1 difference stays small.
+    let mut diff_sum = 0.0;
+    let runs = 3;
+    for i in 0..runs {
+        let seed = 8100 + i;
+        let (truth, data) = er_instance(15, 300, seed);
+        let a = LeastDense::new(config(seed)).unwrap().fit(&data).unwrap();
+        let b = Notears::new(config(seed)).unwrap().fit(&data).unwrap();
+        let (pa, ba) = best_threshold(&truth, &a.weights, &paper_tau_grid());
+        let (pb, bb) = best_threshold(&truth, &b.weights, &paper_tau_grid());
+        diff_sum += pa[ba].metrics.f1 - pb[bb].metrics.f1;
+    }
+    let mean_diff = diff_sum / runs as f64;
+    assert!(mean_diff.abs() < 0.2, "mean F1 gap {mean_diff}");
+}
+
+#[test]
+fn dense_and_sparse_solvers_agree_on_structure() {
+    // Same data; the sparse solver gets a generous support so the random
+    // pattern covers most true edges. Their recovered structures should
+    // overlap substantially.
+    let (truth, data) = er_instance(25, 500, 8200);
+    let dense = LeastDense::new(config(8200)).unwrap().fit(&data).unwrap();
+    let sparse_cfg = LeastConfig {
+        init_density: Some(0.5),
+        batch_size: Some(256),
+        theta: 1e-2,
+        ..config(8200)
+    };
+    let sparse = LeastSparse::new(sparse_cfg).unwrap().fit(&data).unwrap();
+
+    let (pd, bd) = best_threshold(&truth, &dense.weights, &paper_tau_grid());
+    let (ps, bs) = best_threshold(&truth, &sparse.weights.to_dense(), &paper_tau_grid());
+    let f1_dense = pd[bd].metrics.f1;
+    let f1_sparse = ps[bs].metrics.f1;
+    assert!(f1_dense > 0.6, "dense F1 {f1_dense}");
+    assert!(f1_sparse > 0.4, "sparse F1 {f1_sparse}");
+}
+
+#[test]
+fn spectral_bound_dominates_radius_on_learned_weights() {
+    // Lemma 1 on *real solver trajectories*, not just random matrices.
+    let (_, data) = er_instance(15, 300, 8300);
+    let result = LeastDense::new(config(8300)).unwrap().fit(&data).unwrap();
+    let s = result.weights.hadamard_square();
+    let rho = least_bn::linalg::power_iter::spectral_radius_dense(
+        &s,
+        least_bn::linalg::power_iter::PowerIterConfig::default(),
+    )
+    .value;
+    let bound = SpectralBound::default().value(&result.weights).unwrap();
+    assert!(bound >= rho - 1e-9, "bound {bound} < radius {rho}");
+}
+
+#[test]
+fn constraints_agree_on_acyclicity_verdict() {
+    // δ̄ = 0 ⟺ h = 0 on thresholded solver output.
+    let (_, data) = er_instance(12, 250, 8400);
+    let result = LeastDense::new(config(8400)).unwrap().fit(&data).unwrap();
+    let w = result.thresholded_weights(0.3);
+    let delta = SpectralBound::default().value(&w).unwrap();
+    let h = ExpAcyclicity.value(&w).unwrap();
+    let graph = DiGraph::from_dense(&w, 0.0);
+    if graph.is_dag() {
+        assert!(h.abs() < 1e-8, "DAG but h = {h}");
+    } else {
+        assert!(delta > 0.0 || h > 1e-8, "cycle but both constraints zero");
+    }
+}
+
+#[test]
+fn sparse_csr_and_dense_bound_agree_on_solver_output() {
+    let (_, data) = er_instance(15, 300, 8500);
+    let result = LeastDense::new(config(8500)).unwrap().fit(&data).unwrap();
+    let bound = SpectralBound::default();
+    let dense_val = bound.value_dense(&result.weights).unwrap();
+    let sparse_val =
+        bound.value_sparse(&CsrMatrix::from_dense(&result.weights, 0.0)).unwrap();
+    assert!((dense_val - sparse_val).abs() <= 1e-9 * dense_val.max(1.0));
+}
+
+#[test]
+fn facade_reexports_are_usable() {
+    // Touch every crate through the facade to guarantee the re-export
+    // surface compiles and links.
+    let m = DenseMatrix::identity(3);
+    assert_eq!(m.trace().unwrap(), 3.0);
+    let g = DiGraph::from_edges(2, &[(0, 1)]);
+    assert!(g.is_dag());
+    assert_eq!(least_bn::apps::genes::SACHS_GENES.len(), 11);
+    let t = least_bn::metrics::two_proportion_test(10, 100, 1, 100);
+    assert!(t.p_value < 0.05);
+}
