@@ -69,7 +69,10 @@ pub fn run_gene_experiment(
     let weights: DenseMatrix = match solver {
         GeneSolver::LeastDense => LeastDense::new(config)?.fit(data)?.weights,
         GeneSolver::LeastSparse { zeta } => {
-            let cfg = LeastConfig { init_density: Some(zeta), ..config };
+            let cfg = LeastConfig {
+                init_density: Some(zeta),
+                ..config
+            };
             LeastSparse::new(cfg)?.fit(data)?.weights.to_dense()
         }
         GeneSolver::Notears => Notears::new(config)?.fit(data)?.weights,
@@ -106,8 +109,7 @@ mod tests {
         let truth = sachs_network();
         let mut rng = Xoshiro256pp::new(seed);
         let w = weighted_adjacency_sparse(&truth, WeightRange { lo: 0.8, hi: 1.5 }, &mut rng);
-        let x =
-            sample_lsem_sparse(&w, n, NoiseModel::Gaussian { std_dev: 0.5 }, &mut rng).unwrap();
+        let x = sample_lsem_sparse(&w, n, NoiseModel::Gaussian { std_dev: 0.5 }, &mut rng).unwrap();
         let mut data = Dataset::new(x);
         data.center_columns();
         (truth, data)
@@ -129,8 +131,7 @@ mod tests {
     #[test]
     fn least_on_sachs_beats_chance() {
         let (truth, data) = sachs_dataset(1000, 771);
-        let r =
-            run_gene_experiment(&truth, &data, GeneSolver::LeastDense, test_config()).unwrap();
+        let r = run_gene_experiment(&truth, &data, GeneSolver::LeastDense, test_config()).unwrap();
         assert_eq!(r.nodes, 11);
         assert_eq!(r.exact_edges, 17);
         assert!(r.metrics.f1 > 0.5, "F1 {}", r.metrics.f1);
@@ -141,8 +142,7 @@ mod tests {
     #[test]
     fn notears_on_sachs_comparable() {
         let (truth, data) = sachs_dataset(1000, 771);
-        let a =
-            run_gene_experiment(&truth, &data, GeneSolver::LeastDense, test_config()).unwrap();
+        let a = run_gene_experiment(&truth, &data, GeneSolver::LeastDense, test_config()).unwrap();
         let b = run_gene_experiment(&truth, &data, GeneSolver::Notears, test_config()).unwrap();
         assert!(
             (a.metrics.f1 - b.metrics.f1).abs() < 0.35,
@@ -186,8 +186,7 @@ mod tests {
     #[test]
     fn result_counts_are_consistent() {
         let (truth, data) = sachs_dataset(500, 773);
-        let r =
-            run_gene_experiment(&truth, &data, GeneSolver::LeastDense, test_config()).unwrap();
+        let r = run_gene_experiment(&truth, &data, GeneSolver::LeastDense, test_config()).unwrap();
         let m = r.metrics;
         assert_eq!(m.true_edges, 17);
         assert!(m.true_positive_edges <= m.predicted_edges);

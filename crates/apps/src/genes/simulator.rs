@@ -55,7 +55,12 @@ impl GeneNetSimulator {
 
     /// Reduced-size simulator preserving the shape (for tests/quick runs).
     pub fn scaled(genes: usize, edges: usize) -> Self {
-        Self { genes, edges, tf_fraction: 0.1, weight_range: WeightRange { lo: 0.5, hi: 1.5 } }
+        Self {
+            genes,
+            edges,
+            tf_fraction: 0.1,
+            weight_range: WeightRange { lo: 0.5, hi: 1.5 },
+        }
     }
 
     /// Draw a regulatory network.
@@ -104,15 +109,16 @@ impl GeneNetSimulator {
 
     /// Draw a network plus weighted adjacency and `n` expression samples.
     /// Returns `(truth graph, true weights, dataset)`.
-    pub fn generate(
-        &self,
-        n_samples: usize,
-        seed: u64,
-    ) -> Result<(DiGraph, CsrMatrix, Dataset)> {
+    pub fn generate(&self, n_samples: usize, seed: u64) -> Result<(DiGraph, CsrMatrix, Dataset)> {
         let mut rng = Xoshiro256pp::new(seed);
         let g = self.network(&mut rng);
         let w = weighted_adjacency_sparse(&g, self.weight_range, &mut rng);
-        let x = sample_lsem_sparse(&w, n_samples, NoiseModel::Gaussian { std_dev: 0.5 }, &mut rng)?;
+        let x = sample_lsem_sparse(
+            &w,
+            n_samples,
+            NoiseModel::Gaussian { std_dev: 0.5 },
+            &mut rng,
+        )?;
         let mut data = Dataset::new(x);
         // Mean-center per gene. (Full unit-variance standardization would
         // erase the variance ordering that makes linear-Gaussian edge

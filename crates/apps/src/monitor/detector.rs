@@ -48,7 +48,14 @@ impl Default for MonitorConfig {
             ..Default::default()
         };
         least.adam.learning_rate = 0.02;
-        Self { least, tau: 0.03, p_threshold: 1e-4, fdr_q: 0.01, max_paths: 64, max_path_len: 5 }
+        Self {
+            least,
+            tau: 0.03,
+            p_threshold: 1e-4,
+            fdr_q: 0.01,
+            max_paths: 64,
+            max_path_len: 5,
+        }
     }
 }
 
@@ -118,7 +125,11 @@ impl WindowDetector {
     /// search: the linear learner orients a near-symmetric binary
     /// association arbitrarily, and a root cause is a root cause whichever
     /// way the arrow points — the z-test downstream does the attribution.
-    pub fn detect(&self, current: &BookingLog, baseline: &BookingLog) -> Result<Vec<AnomalyReport>> {
+    pub fn detect(
+        &self,
+        current: &BookingLog,
+        baseline: &BookingLog,
+    ) -> Result<Vec<AnomalyReport>> {
         let graph = self.symmetrize_error_edges(&self.learn_graph(current)?);
         let mut candidates = Vec::new();
         for step in 0..NUM_STEPS {
@@ -133,7 +144,11 @@ impl WindowDetector {
             // actually rose, so the z-test keeps attribution exact.
             let rev = graph.reversed();
             let mut grouped = std::collections::HashSet::new();
-            for &adj in graph.neighbors(error_node).iter().chain(rev.neighbors(error_node)) {
+            for &adj in graph
+                .neighbors(error_node)
+                .iter()
+                .chain(rev.neighbors(error_node))
+            {
                 for member in self.schema.group_members(adj as usize) {
                     if grouped.insert(member) {
                         candidate_paths.push(vec![member, error_node]);
@@ -145,8 +160,7 @@ impl WindowDetector {
                 if path.len() < 2 || !seen_paths.insert(path.clone()) {
                     continue; // no incoming structure / duplicate
                 }
-                let attrs: Vec<usize> =
-                    path.iter().copied().filter(|&n| n != error_node).collect();
+                let attrs: Vec<usize> = path.iter().copied().filter(|&n| n != error_node).collect();
                 // Drop paths through other error nodes: they describe error
                 // cascades, which the z-test cannot attribute.
                 if attrs.iter().any(|&n| self.is_error_node(n)) {
@@ -259,7 +273,12 @@ mod tests {
     use crate::monitor::simulator::{AnomalyCategory, AnomalySpec, BookingSimulator};
 
     fn small_schema() -> BookingSchema {
-        BookingSchema { airlines: 4, fare_sources: 4, agents: 3, cities: 4 }
+        BookingSchema {
+            airlines: 4,
+            fare_sources: 4,
+            agents: 3,
+            cities: 4,
+        }
     }
 
     #[test]

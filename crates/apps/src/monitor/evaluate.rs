@@ -172,7 +172,12 @@ mod tests {
     use super::*;
 
     fn tiny_schema() -> BookingSchema {
-        BookingSchema { airlines: 3, fare_sources: 3, agents: 2, cities: 3 }
+        BookingSchema {
+            airlines: 3,
+            fare_sources: 3,
+            agents: 2,
+            cities: 3,
+        }
     }
 
     #[test]
@@ -192,15 +197,8 @@ mod tests {
     #[test]
     fn end_to_end_study_detects_most_incidents() {
         // Small but real: 6 windows, incidents guaranteed each window.
-        let eval = evaluate_windows(
-            tiny_schema(),
-            MonitorConfig::default(),
-            6,
-            4000,
-            1.0,
-            721,
-        )
-        .unwrap();
+        let eval =
+            evaluate_windows(tiny_schema(), MonitorConfig::default(), 6, 4000, 1.0, 721).unwrap();
         assert_eq!(eval.windows, 6);
         assert!(eval.injected >= 5);
         assert!(
@@ -215,15 +213,8 @@ mod tests {
 
     #[test]
     fn no_incidents_no_true_reports() {
-        let eval = evaluate_windows(
-            tiny_schema(),
-            MonitorConfig::default(),
-            3,
-            2000,
-            0.0,
-            722,
-        )
-        .unwrap();
+        let eval =
+            evaluate_windows(tiny_schema(), MonitorConfig::default(), 3, 2000, 0.0, 722).unwrap();
         assert_eq!(eval.injected, 0);
         assert_eq!(eval.detected, 0);
         assert_eq!(eval.true_reports, 0);

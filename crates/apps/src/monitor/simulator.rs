@@ -26,7 +26,12 @@ pub struct BookingSchema {
 
 impl Default for BookingSchema {
     fn default() -> Self {
-        Self { airlines: 8, fare_sources: 10, agents: 6, cities: 10 }
+        Self {
+            airlines: 8,
+            fare_sources: 10,
+            agents: 6,
+            cities: 10,
+        }
     }
 }
 
@@ -90,7 +95,10 @@ impl BookingSchema {
         let ranges = [
             (0, self.airlines),
             (self.airlines, self.airlines + self.fare_sources),
-            (self.airlines + self.fare_sources, self.airlines + self.fare_sources + self.agents),
+            (
+                self.airlines + self.fare_sources,
+                self.airlines + self.fare_sources + self.agents,
+            ),
             (
                 self.airlines + self.fare_sources + self.agents,
                 self.airlines + self.fare_sources + self.agents + self.cities,
@@ -138,8 +146,8 @@ impl BookingSchema {
 /// Two-letter airline codes in the style of the paper's examples.
 fn airline_code(i: usize) -> &'static str {
     const CODES: [&str; 16] = [
-        "AC", "SL", "MU", "CA", "CZ", "HU", "3U", "MF", "BA", "AF", "LH", "NH", "KE", "SQ",
-        "EK", "QF",
+        "AC", "SL", "MU", "CA", "CZ", "HU", "3U", "MF", "BA", "AF", "LH", "NH", "KE", "SQ", "EK",
+        "QF",
     ];
     CODES[i % CODES.len()]
 }
@@ -147,8 +155,8 @@ fn airline_code(i: usize) -> &'static str {
 /// Three-letter city codes in the style of the paper's examples.
 fn city_code(i: usize) -> &'static str {
     const CODES: [&str; 16] = [
-        "WUH", "BKK", "SEL", "PEK", "SHA", "CAN", "SZX", "HGH", "NRT", "SIN", "LAX", "SYD",
-        "CDG", "FRA", "DXB", "HKG",
+        "WUH", "BKK", "SEL", "PEK", "SHA", "CAN", "SZX", "HGH", "NRT", "SIN", "LAX", "SYD", "CDG",
+        "FRA", "DXB", "HKG",
     ];
     CODES[i % CODES.len()]
 }
@@ -285,7 +293,11 @@ pub struct BookingSimulator {
 impl BookingSimulator {
     /// New simulator with the given seed.
     pub fn new(schema: BookingSchema, seed: u64) -> Self {
-        Self { schema, base_error_rate: 0.015, rng: Xoshiro256pp::new(seed) }
+        Self {
+            schema,
+            base_error_rate: 0.015,
+            rng: Xoshiro256pp::new(seed),
+        }
     }
 
     /// Generate one window of `n` bookings under the given incidents.
@@ -322,7 +334,10 @@ impl BookingSimulator {
             record.failed_step = failed;
             records.push(record);
         }
-        BookingLog { records, active_anomalies: anomalies.to_vec() }
+        BookingLog {
+            records,
+            active_anomalies: anomalies.to_vec(),
+        }
     }
 
     /// Draw a random incident from the paper's category mix (Fig. 7),
@@ -333,7 +348,7 @@ impl BookingSimulator {
         let category = mix[self.rng.choose_weighted(&weights)].0;
         let step = self.rng.next_below(NUM_STEPS);
         let error_rate = self.rng.uniform(0.35, 0.75);
-        
+
         match category {
             AnomalyCategory::ExternalSystem => AnomalySpec {
                 category,
@@ -451,7 +466,11 @@ mod tests {
     fn baseline_error_rate_is_low() {
         let mut sim = BookingSimulator::new(BookingSchema::default(), 701);
         let log = sim.window(20_000, &[]);
-        let errors = log.records.iter().filter(|r| r.failed_step.is_some()).count();
+        let errors = log
+            .records
+            .iter()
+            .filter(|r| r.failed_step.is_some())
+            .count();
         let rate = errors as f64 / log.records.len() as f64;
         assert!((0.005..0.03).contains(&rate), "baseline rate {rate}");
     }

@@ -134,7 +134,8 @@ mod tests {
         // Neighborhood of Shrek (node 0) must include the Shrek 2 link.
         let rows = neighborhood_table(&catalog, &learned, 0, 1, 0.0);
         assert!(
-            rows.iter().any(|(f, t, _)| f == "Shrek 2 (2004)" && t == "Shrek (2001)"),
+            rows.iter()
+                .any(|(f, t, _)| f == "Shrek 2 (2004)" && t == "Shrek (2001)"),
             "{rows:?}"
         );
     }

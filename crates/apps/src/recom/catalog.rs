@@ -58,12 +58,24 @@ pub struct Catalog {
 const FRANCHISES: [(&str, &str); 8] = [
     ("Shrek (2001)", "Shrek 2 (2004)"),
     ("Toy Story (1995)", "Toy Story 2 (1999)"),
-    ("Harry Potter and the Sorcerer's Stone (2001)", "Harry Potter and the Chamber of Secrets (2002)"),
-    ("Star Wars: Episode IV (1977)", "Star Wars: Episode V (1980)"),
-    ("Raiders of the Lost Ark (1981)", "Indiana Jones and the Last Crusade (1989)"),
+    (
+        "Harry Potter and the Sorcerer's Stone (2001)",
+        "Harry Potter and the Chamber of Secrets (2002)",
+    ),
+    (
+        "Star Wars: Episode IV (1977)",
+        "Star Wars: Episode V (1980)",
+    ),
+    (
+        "Raiders of the Lost Ark (1981)",
+        "Indiana Jones and the Last Crusade (1989)",
+    ),
     ("Spider-Man (2002)", "Spider-Man 2 (2004)"),
     ("The Matrix (1999)", "The Matrix Reloaded (2003)"),
-    ("Lord of the Rings: The Fellowship (2001)", "Lord of the Rings: The Two Towers (2002)"),
+    (
+        "Lord of the Rings: The Fellowship (2001)",
+        "Lord of the Rings: The Two Towers (2002)",
+    ),
 ];
 
 const BLOCKBUSTERS: [&str; 4] = [
@@ -93,7 +105,10 @@ impl Catalog {
     /// * sparse regular → regular edges for background structure.
     pub fn generate(total: usize, rng: &mut Xoshiro256pp) -> Self {
         let named = FRANCHISES.len() * 2 + BLOCKBUSTERS.len() + NICHE.len();
-        assert!(total >= named + 10, "catalog too small: need > {named} movies");
+        assert!(
+            total >= named + 10,
+            "catalog too small: need > {named} movies"
+        );
         let mut movies = Vec::with_capacity(total);
         for (series, (original, sequel)) in FRANCHISES.iter().enumerate() {
             movies.push(Movie {
@@ -106,13 +121,22 @@ impl Catalog {
             });
         }
         for title in BLOCKBUSTERS {
-            movies.push(Movie { title: title.into(), kind: MovieKind::Blockbuster });
+            movies.push(Movie {
+                title: title.into(),
+                kind: MovieKind::Blockbuster,
+            });
         }
         for title in NICHE {
-            movies.push(Movie { title: title.into(), kind: MovieKind::Niche });
+            movies.push(Movie {
+                title: title.into(),
+                kind: MovieKind::Niche,
+            });
         }
         for i in movies.len()..total {
-            movies.push(Movie { title: format!("Movie #{i}"), kind: MovieKind::Regular });
+            movies.push(Movie {
+                title: format!("Movie #{i}"),
+                kind: MovieKind::Regular,
+            });
         }
 
         let blockbuster_ids: Vec<usize> = movies
@@ -128,11 +152,10 @@ impl Catalog {
                     // sequel -> original (the originals were pushed first).
                     let original = movies
                         .iter()
-                        .position(|m| {
-                            m.kind == MovieKind::Franchise { series, episode: 0 }
-                        })
+                        .position(|m| m.kind == MovieKind::Franchise { series, episode: 0 })
                         .expect("original exists");
-                    coo.push(i, original, rng.uniform(0.6, 0.9)).expect("in bounds");
+                    coo.push(i, original, rng.uniform(0.6, 0.9))
+                        .expect("in bounds");
                 }
                 MovieKind::Niche => {
                     for &b in &blockbuster_ids {
@@ -154,7 +177,10 @@ impl Catalog {
                 _ => {}
             }
         }
-        Self { movies, influence: coo.to_csr() }
+        Self {
+            movies,
+            influence: coo.to_csr(),
+        }
     }
 
     /// Number of movies.
@@ -180,10 +206,11 @@ impl Catalog {
     /// The Table IV style "remark" for an edge, derived from ground truth.
     pub fn remark(&self, from: usize, to: usize) -> &'static str {
         match (self.movies[from].kind, self.movies[to].kind) {
-            (
-                MovieKind::Franchise { series: a, .. },
-                MovieKind::Franchise { series: b, .. },
-            ) if a == b => "same series",
+            (MovieKind::Franchise { series: a, .. }, MovieKind::Franchise { series: b, .. })
+                if a == b =>
+            {
+                "same series"
+            }
             (MovieKind::Niche, MovieKind::Blockbuster) => "niche taste marker",
             (_, MovieKind::Blockbuster) => "toward blockbuster hub",
             _ => "background",

@@ -22,7 +22,10 @@ pub struct RatingsSimulator {
 
 impl Default for RatingsSimulator {
     fn default() -> Self {
-        Self { noise_std: 0.8, user_offset_std: 0.7 }
+        Self {
+            noise_std: 0.8,
+            user_offset_std: 0.7,
+        }
     }
 }
 
@@ -34,7 +37,9 @@ impl RatingsSimulator {
         let mut x = sample_lsem_sparse(
             &catalog.influence,
             users,
-            NoiseModel::Gaussian { std_dev: self.noise_std },
+            NoiseModel::Gaussian {
+                std_dev: self.noise_std,
+            },
             &mut rng,
         )?;
         // Add the per-user generosity offset the paper's preprocessing
@@ -58,7 +63,9 @@ mod tests {
 
     fn setup() -> (Catalog, Dataset) {
         let catalog = Catalog::generate(60, &mut Xoshiro256pp::new(751));
-        let data = RatingsSimulator::default().dataset(&catalog, 400, 752).unwrap();
+        let data = RatingsSimulator::default()
+            .dataset(&catalog, 400, 752)
+            .unwrap();
         (catalog, data)
     }
 
@@ -96,20 +103,21 @@ mod tests {
             .position(|m| m.kind == crate::recom::MovieKind::Niche)
             .unwrap();
         let filler = catalog.len() - 1;
-        let corr = vecops::pearson(
-            &data.matrix().col(niche),
-            &data.matrix().col(filler),
-        )
-        .unwrap()
-        .abs();
+        let corr = vecops::pearson(&data.matrix().col(niche), &data.matrix().col(filler))
+            .unwrap()
+            .abs();
         assert!(corr < 0.3, "spurious correlation {corr}");
     }
 
     #[test]
     fn deterministic_given_seed() {
         let catalog = Catalog::generate(40, &mut Xoshiro256pp::new(753));
-        let a = RatingsSimulator::default().dataset(&catalog, 50, 7).unwrap();
-        let b = RatingsSimulator::default().dataset(&catalog, 50, 7).unwrap();
+        let a = RatingsSimulator::default()
+            .dataset(&catalog, 50, 7)
+            .unwrap();
+        let b = RatingsSimulator::default()
+            .dataset(&catalog, 50, 7)
+            .unwrap();
         assert!(a.matrix().approx_eq(b.matrix(), 0.0));
     }
 }

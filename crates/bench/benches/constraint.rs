@@ -1,15 +1,19 @@
-//! Criterion micro-benchmarks for the acyclicity constraints — the
-//! mechanism behind the paper's Fig. 4 row 4 speedups and its central
-//! complexity claim: evaluating `δ̄` and its gradient is `O(k·nnz)` (near
-//! linear in d for sparse graphs) versus `O(d³)` for `tr(e^S)`.
+//! Micro-benchmarks for the acyclicity constraints — the mechanism behind
+//! the paper's Fig. 4 row 4 speedups and its central complexity claim:
+//! evaluating `δ̄` and its gradient is `O(k·nnz)` (near linear in d for
+//! sparse graphs) versus `O(d³)` for `tr(e^S)`.
 //!
-//! Run with `cargo bench -p least-bench`. Groups:
+//! Run with `cargo bench -p least-bench`. Uses the in-tree best-of-N
+//! harness (`harness = false`); the offline crate set has no criterion.
+//!
+//! Groups:
 //!
 //! * `dense_constraint/{spectral,expm,poly}/d` — dense value+gradient;
 //! * `sparse_spectral/d` — CSR value+gradient at ~4 nnz per row, where
 //!   near-linear scaling in d is directly visible.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use least_bench::report::{fmt, heading, Table};
+use least_bench::timing::time_best_of;
 use least_core::{Acyclicity, SpectralBound};
 use least_graph::{
     erdos_renyi_dag, weighted_adjacency_dense, weighted_adjacency_sparse, WeightRange,
@@ -17,52 +21,65 @@ use least_graph::{
 use least_linalg::Xoshiro256pp;
 use least_notears::{ExpAcyclicity, PolyAcyclicity};
 
+const REPS: usize = 10;
+
 fn dense_w(d: usize, seed: u64) -> least_linalg::DenseMatrix {
     let mut rng = Xoshiro256pp::new(seed);
     let g = erdos_renyi_dag(d, 4, &mut rng);
     weighted_adjacency_dense(&g, WeightRange::default(), &mut rng)
 }
 
-fn bench_dense(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dense_constraint");
-    group.sample_size(10);
+fn bench_dense(table: &mut Table) {
     for &d in &[50usize, 100, 200, 400] {
         let w = dense_w(d, 0xC0FFEE ^ d as u64);
         let spectral = SpectralBound::default();
-        group.bench_with_input(BenchmarkId::new("spectral", d), &w, |b, w| {
-            b.iter(|| spectral.value_and_gradient(w).expect("eval"))
-        });
-        group.bench_with_input(BenchmarkId::new("expm", d), &w, |b, w| {
-            b.iter(|| ExpAcyclicity.value_and_gradient(w).expect("eval"))
-        });
+        let t = time_best_of(REPS, || spectral.value_and_gradient(&w).expect("eval"));
+        table.row(vec![
+            "spectral".into(),
+            d.to_string(),
+            fmt(t.as_secs_f64() * 1e3),
+        ]);
+        let t = time_best_of(REPS, || ExpAcyclicity.value_and_gradient(&w).expect("eval"));
+        table.row(vec![
+            "expm".into(),
+            d.to_string(),
+            fmt(t.as_secs_f64() * 1e3),
+        ]);
         if d <= 200 {
             let poly = PolyAcyclicity::default();
-            group.bench_with_input(BenchmarkId::new("poly", d), &w, |b, w| {
-                b.iter(|| poly.value_and_gradient(w).expect("eval"))
-            });
+            let t = time_best_of(REPS, || poly.value_and_gradient(&w).expect("eval"));
+            table.row(vec![
+                "poly".into(),
+                d.to_string(),
+                fmt(t.as_secs_f64() * 1e3),
+            ]);
         }
     }
-    group.finish();
 }
 
-fn bench_sparse(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sparse_spectral");
-    group.sample_size(10);
+fn bench_sparse(table: &mut Table) {
     let bound = SpectralBound::default();
     for &d in &[1_000usize, 5_000, 20_000, 50_000] {
         let mut rng = Xoshiro256pp::new(0xBEEF ^ d as u64);
         let g = erdos_renyi_dag(d, 4, &mut rng);
         let w = weighted_adjacency_sparse(&g, WeightRange::default(), &mut rng);
-        group.bench_with_input(BenchmarkId::from_parameter(d), &w, |b, w| {
-            b.iter(|| {
-                let fwd = bound.forward_sparse(w).expect("forward");
-                let grad = least_core::grad::backward_sparse(&fwd, w);
-                (fwd.delta, grad.len())
-            })
+        let t = time_best_of(REPS, || {
+            let fwd = bound.forward_sparse(&w).expect("forward");
+            let grad = least_core::grad::backward_sparse(&fwd, &w);
+            (fwd.delta, grad.len())
         });
+        table.row(vec![
+            "sparse_spectral".into(),
+            d.to_string(),
+            fmt(t.as_secs_f64() * 1e3),
+        ]);
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_dense, bench_sparse);
-criterion_main!(benches);
+fn main() {
+    heading("constraint micro-benchmarks (best-of-N wall times)");
+    let mut table = Table::new(&["constraint", "d", "ms"]);
+    bench_dense(&mut table);
+    bench_sparse(&mut table);
+    table.print();
+}

@@ -40,7 +40,10 @@ fn run(cfg: LeastConfig, label: String, table: &mut Table) {
     )
     .expect("instance");
     let start = Instant::now();
-    let result = LeastDense::new(cfg).expect("config").fit(&inst.data).expect("fit");
+    let result = LeastDense::new(cfg)
+        .expect("config")
+        .fit(&inst.data)
+        .expect("fit");
     let secs = start.elapsed().as_secs_f64();
     let (pts, best) = best_threshold(&inst.truth, &result.weights, &paper_tau_grid());
     table.row(vec![
@@ -65,21 +68,42 @@ fn main() {
     heading("Ablation: bound depth k (paper uses 5)");
     let mut t = Table::new(&header);
     for k in [1usize, 2, 3, 5, 8, 12] {
-        run(LeastConfig { k, ..base_config(seed) }, format!("k={k}"), &mut t);
+        run(
+            LeastConfig {
+                k,
+                ..base_config(seed)
+            },
+            format!("k={k}"),
+            &mut t,
+        );
     }
     t.print();
 
     heading("Ablation: balance factor α (paper uses 0.9)");
     let mut t = Table::new(&header);
     for alpha in [0.1, 0.3, 0.5, 0.7, 0.9, 0.99] {
-        run(LeastConfig { alpha, ..base_config(seed) }, format!("α={alpha}"), &mut t);
+        run(
+            LeastConfig {
+                alpha,
+                ..base_config(seed)
+            },
+            format!("α={alpha}"),
+            &mut t,
+        );
     }
     t.print();
 
     heading("Ablation: in-loop threshold θ (0 triggers uniform shrinkage)");
     let mut t = Table::new(&header);
     for theta in [0.0, 0.01, 0.02, 0.05, 0.1] {
-        run(LeastConfig { theta, ..base_config(seed) }, format!("θ={theta}"), &mut t);
+        run(
+            LeastConfig {
+                theta,
+                ..base_config(seed)
+            },
+            format!("θ={theta}"),
+            &mut t,
+        );
     }
     t.print();
 
@@ -91,7 +115,10 @@ fn main() {
         ("B=64", Some(64)),
     ] {
         run(
-            LeastConfig { batch_size: batch, ..base_config(seed) },
+            LeastConfig {
+                batch_size: batch,
+                ..base_config(seed)
+            },
             label.to_string(),
             &mut t,
         );
@@ -119,12 +146,7 @@ enum ConstraintKind {
     Radius,
 }
 
-fn run_with_constraint(
-    cfg: LeastConfig,
-    kind: ConstraintKind,
-    label: String,
-    table: &mut Table,
-) {
+fn run_with_constraint(cfg: LeastConfig, kind: ConstraintKind, label: String, table: &mut Table) {
     use least_core::Acyclicity;
     let inst = benchmark_instance(
         GraphModel::ErdosRenyi { avg_degree: 2 },
@@ -141,7 +163,9 @@ fn run_with_constraint(
         ConstraintKind::Expm => Box::new(least_notears::ExpAcyclicity),
         ConstraintKind::Radius => Box::new(least_notears::RadiusAcyclicity::default()),
     };
-    let result = solver.fit_with_constraint(&inst.data, constraint.as_ref()).expect("fit");
+    let result = solver
+        .fit_with_constraint(&inst.data, constraint.as_ref())
+        .expect("fit");
     let secs = start.elapsed().as_secs_f64();
     let (pts, best) = best_threshold(&inst.truth, &result.weights, &paper_tau_grid());
     table.row(vec![

@@ -1,0 +1,145 @@
+//! Engine throughput smoke benchmark (`cargo bench`-free).
+//!
+//! Times one augmented-Lagrangian outer round of the unified engine on
+//! two representative workloads —
+//!
+//! * **dense d=500**: full-batch Gram loss + dense spectral bound
+//!   forward/backward (the LEAST-TF regime);
+//! * **sparse d=5000**: mini-batch support-restricted loss + masked
+//!   `O(k·nnz)` bound (the LEAST-SP regime) —
+//!
+//! once with the thread pool pinned to a single worker and once with the
+//! configured pool (`LEAST_NUM_THREADS` or all cores), then writes the
+//! machine-readable `BENCH_engine.json` next to the working directory
+//! (override the path with `LEAST_BENCH_OUT`).
+//!
+//! In a `--no-default-features` build the pool is compile-time 1, so both
+//! measurements coincide and `parallel_feature` records the fact.
+
+use least_bench::report::{fmt, heading, Table};
+use least_bench::timing::{time_best_of, Json};
+use least_core::{LeastConfig, LeastDense, LeastSparse};
+use least_data::{sample_lsem_sparse, Dataset, NoiseModel};
+use least_graph::{erdos_renyi_dag, weighted_adjacency_sparse, WeightRange};
+use least_linalg::{par, Xoshiro256pp};
+
+/// Best-of repetitions per measurement.
+const REPS: usize = 3;
+
+struct Workload {
+    name: &'static str,
+    d: usize,
+    data: Dataset,
+    cfg: LeastConfig,
+    sparse: bool,
+}
+
+/// ER(deg 4) ground truth + LSEM sample, matching the paper's synthetic
+/// protocol at smoke scale.
+fn er_data(d: usize, n: usize, seed: u64) -> Dataset {
+    let mut rng = Xoshiro256pp::new(seed);
+    let g = erdos_renyi_dag(d, 4, &mut rng);
+    let w = weighted_adjacency_sparse(&g, WeightRange::default(), &mut rng);
+    let x = sample_lsem_sparse(&w, n, NoiseModel::standard_gaussian(), &mut rng).unwrap();
+    Dataset::new(x)
+}
+
+fn workloads() -> Vec<Workload> {
+    // One outer round, fixed inner-iteration count (no early exit) so the
+    // serial and parallel runs execute identical work.
+    let one_round = |max_inner: usize| LeastConfig {
+        max_outer: 1,
+        max_inner,
+        inner_tol: 0.0,
+        epsilon: 1e-12,
+        theta: 0.0,
+        ..Default::default()
+    };
+
+    let dense_d = 500;
+    let dense_cfg = LeastConfig {
+        lambda: 0.1,
+        ..one_round(10)
+    };
+
+    let sparse_d = 5_000;
+    let sparse_cfg = LeastConfig {
+        lambda: 0.1,
+        init_density: Some(8e-4), // ~4 slots per row at d=5000
+        batch_size: Some(256),
+        ..one_round(10)
+    };
+
+    vec![
+        Workload {
+            name: "dense_d500",
+            d: dense_d,
+            data: er_data(dense_d, 600, 0xD500),
+            cfg: dense_cfg,
+            sparse: false,
+        },
+        Workload {
+            name: "sparse_d5000",
+            d: sparse_d,
+            data: er_data(sparse_d, 1_000, 0x5000),
+            cfg: sparse_cfg,
+            sparse: true,
+        },
+    ]
+}
+
+/// One outer round, end to end (init + inner loop + telemetry).
+fn run_once(w: &Workload) -> f64 {
+    if w.sparse {
+        let solver = LeastSparse::new(w.cfg).expect("config");
+        solver.fit(&w.data).expect("fit").final_constraint
+    } else {
+        let solver = LeastDense::new(w.cfg).expect("config");
+        solver.fit(&w.data).expect("fit").final_constraint
+    }
+}
+
+fn main() {
+    let pool = par::max_threads();
+    heading(&format!(
+        "engine throughput: one outer round, serial vs {} thread(s), best of {REPS}",
+        pool
+    ));
+
+    let mut table = Table::new(&["workload", "d", "serial_s", "parallel_s", "speedup"]);
+    let mut entries = Vec::new();
+    for w in workloads() {
+        par::set_thread_override(Some(1));
+        let serial = time_best_of(REPS, || run_once(&w)).as_secs_f64();
+        par::set_thread_override(None);
+        let parallel = time_best_of(REPS, || run_once(&w)).as_secs_f64();
+        let speedup = serial / parallel;
+        table.row(vec![
+            w.name.into(),
+            w.d.to_string(),
+            fmt(serial),
+            fmt(parallel),
+            fmt(speedup),
+        ]);
+        entries.push(Json::obj(vec![
+            ("name", Json::Str(w.name.into())),
+            ("d", Json::Int(w.d as i64)),
+            ("inner_iters", Json::Int(w.cfg.max_inner as i64)),
+            ("serial_seconds", Json::Num(serial)),
+            ("parallel_seconds", Json::Num(parallel)),
+            ("speedup", Json::Num(speedup)),
+        ]));
+    }
+    table.print();
+
+    let report = Json::obj(vec![
+        ("benchmark", Json::Str("engine_throughput".into())),
+        ("parallel_feature", Json::Bool(cfg!(feature = "parallel"))),
+        ("threads", Json::Int(pool as i64)),
+        ("reps_best_of", Json::Int(REPS as i64)),
+        ("workloads", Json::Arr(entries)),
+    ]);
+    let path = std::env::var("LEAST_BENCH_OUT").unwrap_or_else(|_| "BENCH_engine.json".into());
+    std::fs::write(&path, report.render()).expect("write benchmark report");
+    println!("\nwrote {path}");
+}

@@ -34,13 +34,21 @@ fn solver_config() -> LeastConfig {
 fn main() {
     let reps: u64 = if full_scale() { 5 } else { 2 };
     let dims = [10usize, 20, 50, 100];
-    let models =
-        [GraphModel::ErdosRenyi { avg_degree: 2 }, GraphModel::ScaleFree { avg_degree: 4 }];
+    let models = [
+        GraphModel::ErdosRenyi { avg_degree: 2 },
+        GraphModel::ScaleFree { avg_degree: 4 },
+    ];
     let base_seed = 0xF160_4ACC;
     println!("fig4_accuracy: reps={reps} base_seed={base_seed:#x}");
 
     let mut table = Table::new(&[
-        "graph", "noise", "d", "F1 LEAST", "F1 NOTEARS", "SHD LEAST", "SHD NOTEARS",
+        "graph",
+        "noise",
+        "d",
+        "F1 LEAST",
+        "F1 NOTEARS",
+        "SHD LEAST",
+        "SHD NOTEARS",
         "corr(δ̄,h)",
     ]);
     let start = Instant::now();
@@ -61,9 +69,15 @@ fn main() {
                         ^ model.label().len() as u64;
                     let inst = benchmark_instance(model, noise, d, 10 * d, seed)
                         .expect("instance generation");
-                    let cfg = LeastConfig { seed, ..solver_config() };
+                    let cfg = LeastConfig {
+                        seed,
+                        ..solver_config()
+                    };
 
-                    let least = LeastDense::new(cfg).expect("config").fit(&inst.data).expect("fit");
+                    let least = LeastDense::new(cfg)
+                        .expect("config")
+                        .fit(&inst.data)
+                        .expect("fit");
                     let (pts, best) =
                         best_threshold(&inst.truth, &least.weights, &paper_tau_grid());
                     f1_least += pts[best].metrics.f1;
@@ -73,8 +87,10 @@ fn main() {
                         corr_n += 1;
                     }
 
-                    let notears =
-                        Notears::new(cfg).expect("config").fit(&inst.data).expect("fit");
+                    let notears = Notears::new(cfg)
+                        .expect("config")
+                        .fit(&inst.data)
+                        .expect("fit");
                     let (pts, best) =
                         best_threshold(&inst.truth, &notears.weights, &paper_tau_grid());
                     f1_notears += pts[best].metrics.f1;
@@ -89,7 +105,11 @@ fn main() {
                     fmt(f1_notears / r),
                     fmt(shd_least / r),
                     fmt(shd_notears / r),
-                    if corr_n > 0 { fmt(corr_sum / corr_n as f64) } else { "n/a".into() },
+                    if corr_n > 0 {
+                        fmt(corr_sum / corr_n as f64)
+                    } else {
+                        "n/a".into()
+                    },
                 ]);
                 // Stream the full table after every cell so partial output
                 // survives interruption of long sweeps.

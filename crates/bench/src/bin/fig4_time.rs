@@ -80,14 +80,20 @@ fn main() {
         // Capped full runs.
         let cfg = capped_config(seed ^ d as u64);
         let t0 = Instant::now();
-        let least = LeastDense::new(cfg).expect("cfg").fit(&inst.data).expect("fit");
+        let least = LeastDense::new(cfg)
+            .expect("cfg")
+            .fit(&inst.data)
+            .expect("fit");
         let t_least = t0.elapsed().as_secs_f64();
         std::hint::black_box(least.weights.max_abs());
 
         let run_notears = d < 500 || full_scale();
         let t_notears = if run_notears {
             let t0 = Instant::now();
-            let notears = Notears::new(cfg).expect("cfg").fit(&inst.data).expect("fit");
+            let notears = Notears::new(cfg)
+                .expect("cfg")
+                .fit(&inst.data)
+                .expect("fit");
             std::hint::black_box(notears.weights.max_abs());
             t0.elapsed().as_secs_f64()
         } else {
@@ -95,7 +101,14 @@ fn main() {
             t_least + (t_h - t_delta) * (3.0 * 60.0)
         };
         table.row(vec![
-            format!("{d}{}", if run_notears { "" } else { " (NOTEARS extrapolated)" }),
+            format!(
+                "{d}{}",
+                if run_notears {
+                    ""
+                } else {
+                    " (NOTEARS extrapolated)"
+                }
+            ),
             fmt(t_delta),
             fmt(t_h),
             fmt(t_h / t_delta),

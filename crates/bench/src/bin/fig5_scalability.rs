@@ -67,8 +67,13 @@ fn main() {
         let gen_start = Instant::now();
         let truth = erdos_renyi_dag(spec.nodes, 2, &mut rng);
         let w_true = weighted_adjacency_sparse(&truth, WeightRange::default(), &mut rng);
-        let x = sample_lsem_sparse(&w_true, spec.samples, NoiseModel::standard_gaussian(), &mut rng)
-            .expect("LSEM sampling");
+        let x = sample_lsem_sparse(
+            &w_true,
+            spec.samples,
+            NoiseModel::standard_gaussian(),
+            &mut rng,
+        )
+        .expect("LSEM sampling");
         let data = Dataset::new(x);
         eprintln!(
             "{}: generated d={} n={} ({:.1}s)",

@@ -42,7 +42,13 @@ fn capped_config(seed: u64) -> LeastConfig {
     // shorter inner loops favor the pruning phases (thresholding engages
     // from round 1), and a larger theta keeps W sparse under the capped
     // iteration count.
-    LeastConfig { max_outer: 6, max_inner: 90, theta: 0.06, lambda: 0.06, ..gene_config(seed) }
+    LeastConfig {
+        max_outer: 6,
+        max_inner: 90,
+        theta: 0.06,
+        lambda: 0.06,
+        ..gene_config(seed)
+    }
 }
 
 fn row(t: &mut Table, dataset: &str, r: &GeneExperimentResult) {
@@ -69,8 +75,20 @@ fn main() {
     let full = full_scale();
     println!("table_genes: seed={seed:#x} full={full}");
     let mut table = Table::new(&[
-        "dataset", "solver", "nodes", "samples", "exact", "predicted", "TP", "FDR", "TPR",
-        "FPR", "SHD", "F1", "AUC", "time(s)",
+        "dataset",
+        "solver",
+        "nodes",
+        "samples",
+        "exact",
+        "predicted",
+        "TP",
+        "FDR",
+        "TPR",
+        "FPR",
+        "SHD",
+        "F1",
+        "AUC",
+        "time(s)",
     ]);
 
     // --- Sachs: real consensus ground truth, synthetic expression. ---
@@ -93,9 +111,10 @@ fn main() {
     } else {
         (400, 930, 1000, 2900)
     };
-    for (name, d, e, run_notears) in
-        [("E. coli*", ecoli_d, ecoli_e, true), ("Yeast*", yeast_d, yeast_e, full)]
-    {
+    for (name, d, e, run_notears) in [
+        ("E. coli*", ecoli_d, ecoli_e, true),
+        ("Yeast*", yeast_d, yeast_e, full),
+    ] {
         let sim = GeneNetSimulator::scaled(d, e);
         let (truth, _, data) = sim.generate(d, seed ^ d as u64).expect("generate");
         // The paper runs the *dense* LEAST-TF on GPU for the gene data
@@ -121,7 +140,10 @@ fn main() {
                 &truth,
                 &data,
                 GeneSolver::Notears,
-                LeastConfig { batch_size: Some(256), ..capped_config(seed ^ d as u64) },
+                LeastConfig {
+                    batch_size: Some(256),
+                    ..capped_config(seed ^ d as u64)
+                },
             )
             .expect("NOTEARS run");
             row(&mut table, name, &r);

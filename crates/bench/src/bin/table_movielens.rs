@@ -21,7 +21,9 @@ fn main() {
     println!("table_movielens: seed={seed:#x} movies={movies} users={users}");
 
     let catalog = Catalog::generate(movies, &mut Xoshiro256pp::new(seed));
-    let data = RatingsSimulator::default().dataset(&catalog, users, seed ^ 1).expect("ratings");
+    let data = RatingsSimulator::default()
+        .dataset(&catalog, users, seed ^ 1)
+        .expect("ratings");
 
     let mut cfg = LeastConfig {
         lambda: 0.02,
@@ -33,7 +35,10 @@ fn main() {
         ..Default::default()
     };
     cfg.adam.learning_rate = 0.02;
-    let learned = LeastDense::new(cfg).expect("config").fit(&data).expect("fit");
+    let learned = LeastDense::new(cfg)
+        .expect("config")
+        .fit(&data)
+        .expect("fit");
     eprintln!(
         "fit done: final constraint {} after {} rounds",
         fmt(learned.final_constraint),
@@ -79,7 +84,9 @@ fn main() {
         .position(|m| m.title.starts_with("Braveheart"))
         .expect("Braveheart is in the catalog");
     let mut fig8 = Table::new(&["from", "to", "weight"]);
-    for (from, to, w) in neighborhood_table(&catalog, &weights, center, 1, 0.05).into_iter().take(12)
+    for (from, to, w) in neighborhood_table(&catalog, &weights, center, 1, 0.05)
+        .into_iter()
+        .take(12)
     {
         fig8.row(vec![from, to, fmt(w)]);
     }

@@ -19,6 +19,7 @@
 //! records the scale-downs), and writes aligned tables to stdout.
 
 pub mod report;
+pub mod timing;
 pub mod workloads;
 
 pub use report::Table;

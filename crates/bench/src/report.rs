@@ -17,7 +17,10 @@ pub struct Table {
 impl Table {
     /// New table with the given column headers.
     pub fn new(header: &[&str]) -> Self {
-        Self { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row (must match the header arity).
@@ -71,7 +74,8 @@ impl Table {
     pub fn print(&self) {
         let stdout = std::io::stdout();
         let mut lock = std::io::BufWriter::new(stdout.lock());
-        lock.write_all(self.render().as_bytes()).expect("stdout write");
+        lock.write_all(self.render().as_bytes())
+            .expect("stdout write");
         lock.flush().expect("stdout flush");
     }
 }

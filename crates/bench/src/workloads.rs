@@ -31,7 +31,12 @@ pub fn benchmark_instance(
     let truth = model.sample(d, &mut rng);
     let weights = weighted_adjacency_dense(&truth, WeightRange::default(), &mut rng);
     let x = sample_lsem(&weights, n, noise, &mut rng)?;
-    Ok(BenchInstance { truth, weights, data: Dataset::new(x), seed })
+    Ok(BenchInstance {
+        truth,
+        weights,
+        data: Dataset::new(x),
+        seed,
+    })
 }
 
 #[cfg(test)]

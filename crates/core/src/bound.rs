@@ -21,7 +21,7 @@
 use crate::constraint::Acyclicity;
 use crate::grad;
 use least_linalg::vecops::powf_floored;
-use least_linalg::{CsrMatrix, DenseMatrix, LinalgError, Result};
+use least_linalg::{par, CsrMatrix, DenseMatrix, LinalgError, Result};
 
 /// Floor applied inside fractional powers (see module docs).
 pub const POW_EPS: f64 = 1e-12;
@@ -68,7 +68,11 @@ impl SpectralBound {
             let c = s.col_sums();
             let b = combine_sums(&r, &c, self.alpha);
             let advance = j < self.k;
-            let next = if advance { Some(diag_similarity_dense(&s, &b)) } else { None };
+            let next = if advance {
+                Some(diag_similarity_dense(&s, &b))
+            } else {
+                None
+            };
             levels.push(BoundLevel { s, r, c, b });
             match next {
                 Some(n) => s = n,
@@ -76,7 +80,11 @@ impl SpectralBound {
             }
         }
         let delta = levels.last().expect("k+1 levels").b.iter().sum();
-        Ok(SpectralBoundForward { alpha: self.alpha, delta, levels })
+        Ok(SpectralBoundForward {
+            alpha: self.alpha,
+            delta,
+            levels,
+        })
     }
 
     /// Sparse forward pass (`O(k·nnz)`), retaining per-level state.
@@ -105,7 +113,11 @@ impl SpectralBound {
             }
         }
         let delta = levels.last().expect("k+1 levels").b.iter().sum();
-        Ok(SparseBoundForward { alpha: self.alpha, delta, levels })
+        Ok(SparseBoundForward {
+            alpha: self.alpha,
+            delta,
+            levels,
+        })
     }
 
     /// Bound value only (dense).
@@ -134,21 +146,30 @@ fn combine_sums(r: &[f64], c: &[f64], alpha: f64) -> Vec<f64> {
 }
 
 /// Dense `D⁻¹ S D`: `S[i,l]·b[l]/b[i]`, zero row/col where `b` vanishes.
+/// Output rows are independent — computed row-parallel for large `d`.
 fn diag_similarity_dense(s: &DenseMatrix, b: &[f64]) -> DenseMatrix {
     let d = s.rows();
-    let inv: Vec<f64> = b.iter().map(|&x| if x > 0.0 { 1.0 / x } else { 0.0 }).collect();
+    let inv: Vec<f64> = b
+        .iter()
+        .map(|&x| if x > 0.0 { 1.0 / x } else { 0.0 })
+        .collect();
     let mut out = DenseMatrix::zeros(d, d);
-    for (i, &inv_i) in inv.iter().enumerate() {
+    par::for_each_row_mut(out.as_mut_slice(), d, dense_row_grain(d), |i, row_out| {
+        let inv_i = inv[i];
         if inv_i == 0.0 {
-            continue;
+            return;
         }
-        let row_in = s.row(i);
-        let row_out = out.row_mut(i);
-        for ((o, &v), &bl) in row_out.iter_mut().zip(row_in).zip(b) {
+        for ((o, &v), &bl) in row_out.iter_mut().zip(s.row(i)).zip(b) {
             *o = v * inv_i * bl;
         }
-    }
+    });
     out
+}
+
+/// Per-thread minimum row count for `d×d` row-parallel loops: keeps each
+/// worker above ~16k elements so threading never pessimizes small solves.
+pub(crate) fn dense_row_grain(d: usize) -> usize {
+    ((1 << 14) / d.max(1)).max(1)
 }
 
 /// One refinement level of the forward pass (dense).
@@ -282,15 +303,14 @@ mod tests {
         // transform the bound stays d·ρ (the transform fixes balanced
         // matrices). Verify domination and the d·ρ value.
         let c = 0.7f64;
-        let w = DenseMatrix::from_rows(&[
-            &[0.0, c, 0.0],
-            &[0.0, 0.0, c],
-            &[c, 0.0, 0.0],
-        ])
-        .unwrap();
+        let w = DenseMatrix::from_rows(&[&[0.0, c, 0.0], &[0.0, 0.0, c], &[c, 0.0, 0.0]]).unwrap();
         let rho = c * c;
         let b = bound().value_dense(&w).unwrap();
-        assert!((b - 3.0 * rho).abs() < 1e-9, "bound {b}, 3ρ = {}", 3.0 * rho);
+        assert!(
+            (b - 3.0 * rho).abs() < 1e-9,
+            "bound {b}, 3ρ = {}",
+            3.0 * rho
+        );
     }
 
     #[test]
@@ -310,12 +330,8 @@ mod tests {
         // Diagonal similarity preserves eigenvalues; check the trace of
         // each level as a cheap spectral invariant... trace is preserved
         // only where b > 0; use a strongly connected example so b > 0.
-        let w = DenseMatrix::from_rows(&[
-            &[0.0, 0.9, 0.0],
-            &[0.4, 0.0, 0.8],
-            &[0.5, 0.3, 0.0],
-        ])
-        .unwrap();
+        let w = DenseMatrix::from_rows(&[&[0.0, 0.9, 0.0], &[0.4, 0.0, 0.8], &[0.5, 0.3, 0.0]])
+            .unwrap();
         let fwd = bound().forward_dense(&w).unwrap();
         let t0 = fwd.levels[0].s.trace().unwrap();
         for level in &fwd.levels[1..] {
@@ -343,7 +359,10 @@ mod tests {
             let b = SpectralBound::new(k, 0.9).unwrap().value_dense(&w).unwrap();
             assert!(b >= rho - 1e-9, "k={k}: bound {b} < rho {rho}");
         }
-        let b20 = SpectralBound::new(20, 0.9).unwrap().value_dense(&w).unwrap();
+        let b20 = SpectralBound::new(20, 0.9)
+            .unwrap()
+            .value_dense(&w)
+            .unwrap();
         let target = d as f64 * rho;
         assert!(
             (b20 - target).abs() < 0.15 * target,
@@ -359,12 +378,8 @@ mod tests {
     #[test]
     fn isolated_nodes_contribute_zero() {
         // Node 2 has no edges at all: its b entry must be exactly 0, not ε.
-        let w = DenseMatrix::from_rows(&[
-            &[0.0, 1.0, 0.0],
-            &[1.0, 0.0, 0.0],
-            &[0.0, 0.0, 0.0],
-        ])
-        .unwrap();
+        let w = DenseMatrix::from_rows(&[&[0.0, 1.0, 0.0], &[1.0, 0.0, 0.0], &[0.0, 0.0, 0.0]])
+            .unwrap();
         let fwd = bound().forward_dense(&w).unwrap();
         for level in &fwd.levels {
             assert_eq!(level.b[2], 0.0);

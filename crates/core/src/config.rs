@@ -166,7 +166,11 @@ mod tests {
 
     #[test]
     fn auglag_inherits_tolerance() {
-        let c = LeastConfig { epsilon: 1e-5, max_outer: 7, ..Default::default() };
+        let c = LeastConfig {
+            epsilon: 1e-5,
+            max_outer: 7,
+            ..Default::default()
+        };
         let a = c.auglag();
         assert_eq!(a.tolerance, 1e-5);
         assert_eq!(a.max_outer, 7);

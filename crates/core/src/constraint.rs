@@ -47,8 +47,7 @@ pub mod testing {
                 plus[(i, j)] += step;
                 let mut minus = w.clone();
                 minus[(i, j)] -= step;
-                let numeric =
-                    (c.value(&plus).unwrap() - c.value(&minus).unwrap()) / (2.0 * step);
+                let numeric = (c.value(&plus).unwrap() - c.value(&minus).unwrap()) / (2.0 * step);
                 let a = analytic[(i, j)];
                 assert!(
                     (a - numeric).abs() <= tol * (1.0 + numeric.abs()),

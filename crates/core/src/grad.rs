@@ -23,9 +23,18 @@
 //! rather than `O(k·d²)` — and is exact (verified against the dense path
 //! and finite differences in the tests below).
 
-use crate::bound::{SparseBoundForward, SpectralBoundForward, POW_EPS};
+use crate::bound::{dense_row_grain, SparseBoundForward, SpectralBoundForward, POW_EPS};
 use least_linalg::vecops::powf_floored;
-use least_linalg::{CsrMatrix, DenseMatrix};
+use least_linalg::{par, CsrMatrix, DenseMatrix};
+
+/// Minimum pattern slots per worker in the sparse backward pass.
+const SLOT_GRAIN: usize = 1 << 14;
+
+/// Per-thread slot-chunk length for slot-parallel loops, respecting
+/// [`SLOT_GRAIN`].
+fn slot_chunk(nnz: usize) -> usize {
+    nnz.div_ceil(par::max_threads().max(1)).max(SLOT_GRAIN)
+}
 
 /// `x[m] = α(c/r)^{1−α}`, `y[m] = (1−α)(r/c)^α`, ε-guarded to match the
 /// forward's zero conventions (`b[m] = 0 ⇒ x[m] = y[m] = 0`).
@@ -37,11 +46,10 @@ fn xy(r: &[f64], c: &[f64], alpha: f64) -> (Vec<f64>, Vec<f64>) {
             x.push(0.0);
             y.push(0.0);
         } else {
-            let ratio = powf_floored(ci, 1.0 - alpha, POW_EPS)
-                / powf_floored(ri, 1.0 - alpha, POW_EPS);
+            let ratio =
+                powf_floored(ci, 1.0 - alpha, POW_EPS) / powf_floored(ri, 1.0 - alpha, POW_EPS);
             x.push(alpha * ratio);
-            let ratio2 =
-                powf_floored(ri, alpha, POW_EPS) / powf_floored(ci, alpha, POW_EPS);
+            let ratio2 = powf_floored(ri, alpha, POW_EPS) / powf_floored(ci, alpha, POW_EPS);
             y.push((1.0 - alpha) * ratio2);
         }
     }
@@ -65,53 +73,62 @@ pub fn backward_dense(fwd: &SpectralBoundForward, w: &DenseMatrix) -> DenseMatri
     let d = w.rows();
     let alpha = fwd.alpha;
 
-    // Lemma 3: top-level gradient G[i,l] = x[i] + y[l].
+    // Lemma 3: top-level gradient G[i,l] = x[i] + y[l] (row-parallel).
     let (xk, yk) = xy(&levels[k].r, &levels[k].c, alpha);
-    let mut g = DenseMatrix::from_fn(d, d, |i, l| xk[i] + yk[l]);
+    let grain = dense_row_grain(d);
+    let mut g = DenseMatrix::zeros(d, d);
+    par::for_each_row_mut(g.as_mut_slice(), d, grain, |i, row| {
+        for (o, &yl) in row.iter_mut().zip(&yk) {
+            *o = xk[i] + yl;
+        }
+    });
 
     // Lemmas 4–5, descending levels.
     for j in (1..=k).rev() {
         let level = &levels[j - 1];
         let b = &level.b;
         // z[m] = Σ_p G[p,m]·S[p,m]/b[p]  −  Σ_q G[m,q]·S[m,q]·b[q] / b[m]².
-        let mut z = vec![0.0; d];
-        for (p, &bp) in b.iter().enumerate() {
-            let inv_bp = inv_or_zero(bp);
-            let g_row = g.row(p);
-            let s_row = level.s.row(p);
-            if inv_bp != 0.0 {
-                for ((zq, &gv), &sv) in z.iter_mut().zip(g_row).zip(s_row) {
+        // The first sum scatters across columns: each row block accumulates
+        // a private vector, combined in block order (deterministic).
+        let mut z = par::accumulate_ranges(d, grain, d, |rows| {
+            let mut local = vec![0.0; d];
+            for p in rows {
+                let inv_bp = inv_or_zero(b[p]);
+                if inv_bp == 0.0 {
+                    continue;
+                }
+                for ((zq, &gv), &sv) in local.iter_mut().zip(g.row(p)).zip(level.s.row(p)) {
                     *zq += gv * sv * inv_bp;
                 }
             }
-        }
-        for m in 0..d {
+            local
+        });
+        // The second sum touches only z[m] — row-disjoint.
+        par::for_each_row_mut(&mut z, 1, grain, |m, zm| {
             let inv_bm2 = inv_or_zero(b[m] * b[m]);
             if inv_bm2 == 0.0 {
-                continue;
+                return;
             }
-            let g_row = g.row(m);
-            let s_row = level.s.row(m);
-            let row_term: f64 = g_row
+            let row_term: f64 = g
+                .row(m)
                 .iter()
-                .zip(s_row)
+                .zip(level.s.row(m))
                 .zip(b)
                 .map(|((&gv, &sv), &bq)| gv * sv * bq)
                 .sum();
-            z[m] -= row_term * inv_bm2;
-        }
+            zm[0] -= row_term * inv_bm2;
+        });
         let (x, y) = xy(&level.r, &level.c, alpha);
-        // G_new[i,l] = G[i,l]·b[l]/b[i] + x[i]z[i] + y[l]z[l].
+        // G_new[i,l] = G[i,l]·b[l]/b[i] + x[i]z[i] + y[l]z[l] (row-parallel).
         let mut g_new = DenseMatrix::zeros(d, d);
-        for i in 0..d {
+        par::for_each_row_mut(g_new.as_mut_slice(), d, grain, |i, out_row| {
             let inv_bi = inv_or_zero(b[i]);
             let xi_zi = x[i] * z[i];
             let g_row = g.row(i);
-            let out_row = g_new.row_mut(i);
             for (l, o) in out_row.iter_mut().enumerate() {
                 *o = g_row[l] * inv_bi * b[l] + xi_zi + y[l] * z[l];
             }
-        }
+        });
         g = g_new;
     }
 
@@ -135,38 +152,60 @@ pub fn backward_sparse(fwd: &SparseBoundForward, w: &CsrMatrix) -> Vec<f64> {
     let row_of = w.expand_row_indices();
     let col_of = w.col_indices();
 
-    // Lemma 3 restricted to the mask.
+    // Chunk length computed once: the parallel closures derive each
+    // chunk's slot offset from it, so it must be the exact value the
+    // chunking used (max_threads() can change under a runtime override).
+    let chunk_len = slot_chunk(nnz);
+
+    // Lemma 3 restricted to the mask (slot-parallel: slots are disjoint).
+    let mut g = vec![0.0; nnz];
     let (xk, yk) = xy(&levels[k].r, &levels[k].c, alpha);
-    let mut g: Vec<f64> = (0..nnz)
-        .map(|slot| xk[row_of[slot] as usize] + yk[col_of[slot] as usize])
-        .collect();
+    par::for_each_chunk_mut(&mut g, chunk_len, |block, chunk| {
+        let base = block * chunk_len;
+        for (i, o) in chunk.iter_mut().enumerate() {
+            let slot = base + i;
+            *o = xk[row_of[slot] as usize] + yk[col_of[slot] as usize];
+        }
+    });
 
     for j in (1..=k).rev() {
         let level = &levels[j - 1];
         let b = &level.b;
         let s_vals = level.s.values();
-        // z via one pass over the pattern.
-        let mut z = vec![0.0; d];
-        for slot in 0..nnz {
-            let p = row_of[slot] as usize;
-            let q = col_of[slot] as usize;
-            let gs = g[slot] * s_vals[slot];
-            let inv_bp = inv_or_zero(b[p]);
-            z[q] += gs * inv_bp;
-            let inv_bp2 = inv_or_zero(b[p] * b[p]);
-            z[p] -= gs * b[q] * inv_bp2;
-        }
+        // z via one pass over the pattern — a scatter into both endpoint
+        // nodes of every slot, so each worker accumulates a private vector
+        // combined in slot-range order.
+        let z = par::accumulate_ranges(nnz, SLOT_GRAIN, d, |slots| {
+            let mut local = vec![0.0; d];
+            for slot in slots {
+                let p = row_of[slot] as usize;
+                let q = col_of[slot] as usize;
+                let gs = g[slot] * s_vals[slot];
+                let inv_bp = inv_or_zero(b[p]);
+                local[q] += gs * inv_bp;
+                let inv_bp2 = inv_or_zero(b[p] * b[p]);
+                local[p] -= gs * b[q] * inv_bp2;
+            }
+            local
+        });
         let (x, y) = xy(&level.r, &level.c, alpha);
-        // Propagate on the pattern.
-        for slot in 0..nnz {
-            let i = row_of[slot] as usize;
-            let l = col_of[slot] as usize;
-            g[slot] = g[slot] * inv_or_zero(b[i]) * b[l] + x[i] * z[i] + y[l] * z[l];
-        }
+        // Propagate on the pattern (slot-parallel).
+        par::for_each_chunk_mut(&mut g, chunk_len, |block, chunk| {
+            let base = block * chunk_len;
+            for (idx, gv) in chunk.iter_mut().enumerate() {
+                let slot = base + idx;
+                let i = row_of[slot] as usize;
+                let l = col_of[slot] as usize;
+                *gv = *gv * inv_or_zero(b[i]) * b[l] + x[i] * z[i] + y[l] * z[l];
+            }
+        });
     }
 
     // ∇_W = 2·G ∘ W on the support.
-    g.iter().zip(w.values()).map(|(&gv, &wv)| 2.0 * gv * wv).collect()
+    g.iter()
+        .zip(w.values())
+        .map(|(&gv, &wv)| 2.0 * gv * wv)
+        .collect()
 }
 
 #[cfg(test)]

@@ -17,29 +17,33 @@
 //!   including the masked sparse variant that keeps everything `O(nnz)`;
 //! * [`loss`] — the least-squares + L1 LSEM loss and its gradients (full
 //!   Gram, mini-batch residual, and sparse-support paths);
-//! * [`solver_dense`] — `LeastDense` (the paper's LEAST-TF analogue),
+//! * [`engine`] — the single augmented-Lagrangian outer loop, generic over
+//!   the [`engine::WeightBackend`] trait;
+//! * [`backend_dense`] — `LeastDense` (the paper's LEAST-TF analogue),
 //!   generic over the constraint for ablations and baselines;
-//! * [`solver_sparse`] — `LeastSparse` (LEAST-SP): CSR weights, sparse
+//! * [`backend_sparse`] — `LeastSparse` (LEAST-SP): CSR weights, sparse
 //!   Adam, thresholding with state compaction;
 //! * [`trace`] — convergence telemetry: the `(time, δ̄, h)` series behind
 //!   Fig. 5 and the `corr(δ̄, h)` row of Fig. 4.
 
+pub mod backend_dense;
+pub mod backend_sparse;
 pub mod bound;
 pub mod config;
 pub mod constraint;
+pub mod engine;
 pub mod grad;
 pub mod loss;
 pub mod sem;
-pub mod solver_dense;
-pub mod solver_sparse;
 pub mod stability;
 pub mod trace;
 
+pub use backend_dense::{Dense, LearnedDense, LeastDense};
+pub use backend_sparse::{LearnedSparse, LeastSparse, Sparse};
 pub use bound::{SpectralBound, SpectralBoundForward};
 pub use config::LeastConfig;
+pub use constraint::Acyclicity;
+pub use engine::{Learned, LeastSolver, WeightBackend};
 pub use sem::FittedSem;
 pub use stability::{bootstrap_edges, BootstrapConfig, EdgeConfidence};
-pub use constraint::Acyclicity;
-pub use solver_dense::{LearnedDense, LeastDense};
-pub use solver_sparse::{LearnedSparse, LeastSparse};
 pub use trace::{ConvergenceTrace, TracePoint};

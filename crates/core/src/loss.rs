@@ -33,7 +33,12 @@ impl GramLoss {
     pub fn new(x: &DenseMatrix, lambda: f64) -> Result<Self> {
         let gram = x.t_matmul(x)?;
         let trace = gram.trace()?;
-        Ok(Self { gram, trace, n: x.rows(), lambda })
+        Ok(Self {
+            gram,
+            trace,
+            n: x.rows(),
+            lambda,
+        })
     }
 
     /// Loss and gradient at `W`. Returns `(smooth + λ‖W‖₁, ∇)` where the
@@ -47,15 +52,20 @@ impl GramLoss {
             });
         }
         let n = self.n as f64;
-        let m = self.gram.matmul(w)?; // G·W
-        // ‖X − XW‖² = tr(G) − 2⟨W, G⟩ + ⟨W, G·W⟩ (G symmetric).
+        // m = G·W; then ‖X − XW‖² = tr(G) − 2⟨W, G⟩ + ⟨W, G·W⟩ (G symmetric).
+        let m = self.gram.matmul(w)?;
         let wg: f64 = w
             .as_slice()
             .iter()
             .zip(self.gram.as_slice())
             .map(|(&a, &b)| a * b)
             .sum();
-        let wm: f64 = w.as_slice().iter().zip(m.as_slice()).map(|(&a, &b)| a * b).sum();
+        let wm: f64 = w
+            .as_slice()
+            .iter()
+            .zip(m.as_slice())
+            .map(|(&a, &b)| a * b)
+            .sum();
         let smooth = (self.trace - 2.0 * wg + wm) / n;
         let mut grad = m.sub(&self.gram)?;
         grad.scale_inplace(2.0 / n);
@@ -97,24 +107,14 @@ pub fn sparse_value_and_grad(
     }
     let b = x_batch.rows();
     let nnz = w.nnz();
-    let threads = worker_count(b);
-    let rows_per = b.div_ceil(threads);
 
-    // Each worker owns a disjoint row range and accumulates (loss, grad).
-    let mut partials: Vec<(f64, Vec<f64>)> = Vec::with_capacity(threads);
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
-        for t in 0..threads {
-            let lo = t * rows_per;
-            let hi = ((t + 1) * rows_per).min(b);
-            if lo >= hi {
-                break;
-            }
-            handles.push(scope.spawn(move || sparse_loss_rows(x_batch, w, lo, hi)));
-        }
-        for h in handles {
-            partials.push(h.join().expect("loss worker panicked"));
-        }
+    // Each worker owns a disjoint row range and accumulates (loss, grad);
+    // partials are combined in range order, so results are deterministic
+    // run-to-run at a fixed thread count (changing the pool size regroups
+    // the partial sums and may shift the result by an ulp; see
+    // `least_linalg::par` module docs).
+    let partials = least_linalg::par::map_ranges(b, SAMPLE_ROW_GRAIN, |rows| {
+        sparse_loss_rows(x_batch, w, rows.start, rows.end)
     });
 
     let mut smooth = 0.0;
@@ -139,12 +139,7 @@ pub fn sparse_value_and_grad(
 }
 
 /// Per-worker kernel: residual + gradient contributions of rows `lo..hi`.
-fn sparse_loss_rows(
-    x: &DenseMatrix,
-    w: &CsrMatrix,
-    lo: usize,
-    hi: usize,
-) -> (f64, Vec<f64>) {
+fn sparse_loss_rows(x: &DenseMatrix, w: &CsrMatrix, lo: usize, hi: usize) -> (f64, Vec<f64>) {
     let d = w.rows();
     let nnz = w.nnz();
     let row_ptr = w.row_pointers();
@@ -184,10 +179,8 @@ fn sparse_loss_rows(
     (smooth, grad)
 }
 
-fn worker_count(rows: usize) -> usize {
-    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    hw.min(16).min(rows.max(1)).max(1)
-}
+/// Minimum sample rows per worker in the parallel sparse-loss path.
+const SAMPLE_ROW_GRAIN: usize = 8;
 
 /// `grad += λ·sign(w)` element-wise (0 at 0).
 fn add_l1_subgradient(grad: &mut DenseMatrix, w: &DenseMatrix, lambda: f64) {

@@ -47,7 +47,9 @@ impl FittedSem {
             .ok_or_else(|| LinalgError::InvalidArgument("structure has a cycle".into()))?;
         let n = data.num_samples();
         if n < 2 {
-            return Err(LinalgError::InvalidArgument("need at least 2 samples".into()));
+            return Err(LinalgError::InvalidArgument(
+                "need at least 2 samples".into(),
+            ));
         }
         let x = data.matrix();
         let reversed = structure.reversed();
@@ -96,7 +98,13 @@ impl FittedSem {
             }
             noise_vars[v] = (ss / n as f64).max(1e-12);
         }
-        Ok(Self { structure: structure.clone(), weights, intercepts, noise_vars, order })
+        Ok(Self {
+            structure: structure.clone(),
+            weights,
+            intercepts,
+            noise_vars,
+            order,
+        })
     }
 
     /// The DAG this model is parameterized on.
@@ -117,10 +125,10 @@ impl FittedSem {
     /// Predicted conditional mean of node `v` given a full observation.
     pub fn predict_node(&self, v: usize, observation: &[f64]) -> f64 {
         let mut pred = self.intercepts[v];
-        for u in 0..self.weights.rows() {
+        for (u, &obs_u) in observation.iter().enumerate().take(self.weights.rows()) {
             let w = self.weights[(u, v)];
             if w != 0.0 {
-                pred += w * observation[u];
+                pred += w * obs_u;
             }
         }
         pred
@@ -142,7 +150,10 @@ impl FittedSem {
     /// Mean log-likelihood over a dataset.
     pub fn mean_log_likelihood(&self, data: &Dataset) -> f64 {
         let n = data.num_samples().max(1);
-        data.matrix().rows_iter().map(|row| self.log_likelihood_row(row)).sum::<f64>()
+        data.matrix()
+            .rows_iter()
+            .map(|row| self.log_likelihood_row(row))
+            .sum::<f64>()
             / n as f64
     }
 
@@ -154,8 +165,7 @@ impl FittedSem {
         for s in 0..n {
             // Two-phase borrow: compute values in topological order.
             for &v in &self.order {
-                let mut val =
-                    self.intercepts[v] + self.noise_vars[v].sqrt() * rng.gaussian();
+                let mut val = self.intercepts[v] + self.noise_vars[v].sqrt() * rng.gaussian();
                 for &u in reversed.neighbors(v) {
                     val += self.weights[(u as usize, v)] * out[(s, u as usize)];
                 }

@@ -11,8 +11,8 @@
 //! in few resamples are artifacts. Thresholding at 0.5–0.9 gives a
 //! consensus network with far fewer false positives than any single run.
 
+use crate::backend_dense::LeastDense;
 use crate::config::LeastConfig;
-use crate::solver_dense::LeastDense;
 use least_data::Dataset;
 use least_graph::DiGraph;
 use least_linalg::{DenseMatrix, LinalgError, Result, Xoshiro256pp};
@@ -72,7 +72,8 @@ pub struct BootstrapConfig {
     pub resamples: usize,
     /// Per-run edge filter τ applied before counting (default 0.3).
     pub tau: f64,
-    /// Worker threads (default: min(resamples, available cores, 8)).
+    /// Worker threads (default: min(resamples, pool size, 8); the pool is
+    /// 1 when the `parallel` feature is disabled).
     pub threads: Option<usize>,
     /// Seed for resampling and per-run solver seeds.
     pub seed: u64,
@@ -80,7 +81,12 @@ pub struct BootstrapConfig {
 
 impl Default for BootstrapConfig {
     fn default() -> Self {
-        Self { resamples: 20, tau: 0.3, threads: None, seed: 0xB005 }
+        Self {
+            resamples: 20,
+            tau: 0.3,
+            threads: None,
+            seed: 0xB005,
+        }
     }
 }
 
@@ -92,15 +98,17 @@ pub fn bootstrap_edges(
     cfg: BootstrapConfig,
 ) -> Result<EdgeConfidence> {
     if cfg.resamples == 0 {
-        return Err(LinalgError::InvalidArgument("resamples must be positive".into()));
+        return Err(LinalgError::InvalidArgument(
+            "resamples must be positive".into(),
+        ));
     }
     let d = data.num_vars();
     let n = data.num_samples();
+    // Default worker count comes from the shared pool policy (compile-time
+    // 1 without the `parallel` feature); an explicit `threads` wins.
     let threads = cfg
         .threads
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1).min(8)
-        })
+        .unwrap_or_else(|| least_linalg::par::max_threads().min(8))
         .clamp(1, cfg.resamples);
 
     // Pre-draw per-run seeds so results are independent of thread schedule.
@@ -125,9 +133,11 @@ pub fn bootstrap_edges(
                     let src = rng.next_below(n);
                     x.row_mut(row).copy_from_slice(data.matrix().row(src));
                 }
-                let run_cfg = LeastConfig { seed: run_seeds[run], ..solver_config };
-                let fitted = LeastDense::new(run_cfg)
-                    .and_then(|s| s.fit(&Dataset::new(x)));
+                let run_cfg = LeastConfig {
+                    seed: run_seeds[run],
+                    ..solver_config
+                };
+                let fitted = LeastDense::new(run_cfg).and_then(|s| s.fit(&Dataset::new(x)));
                 match fitted {
                     Ok(result) => {
                         let graph = result.graph(cfg.tau);
@@ -150,7 +160,10 @@ pub fn bootstrap_edges(
     }
     let mut frequencies = counts.into_inner().expect("poisoned");
     frequencies.scale_inplace(1.0 / cfg.resamples as f64);
-    Ok(EdgeConfidence { frequencies, runs: cfg.resamples })
+    Ok(EdgeConfidence {
+        frequencies,
+        runs: cfg.resamples,
+    })
 }
 
 #[cfg(test)]
@@ -185,7 +198,10 @@ mod tests {
         let conf = bootstrap_edges(
             &data,
             quick_solver(),
-            BootstrapConfig { resamples: 8, ..Default::default() },
+            BootstrapConfig {
+                resamples: 8,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(conf.runs(), 8);
@@ -210,7 +226,10 @@ mod tests {
         let conf = bootstrap_edges(
             &data,
             quick_solver(),
-            BootstrapConfig { resamples: 8, ..Default::default() },
+            BootstrapConfig {
+                resamples: 8,
+                ..Default::default()
+            },
         )
         .unwrap();
         // The far pair (0, 3) is not a direct edge; its confidence must be
@@ -224,7 +243,10 @@ mod tests {
         let conf = bootstrap_edges(
             &data,
             quick_solver(),
-            BootstrapConfig { resamples: 4, ..Default::default() },
+            BootstrapConfig {
+                resamples: 4,
+                ..Default::default()
+            },
         )
         .unwrap();
         let ranked = conf.ranked_edges();
@@ -240,13 +262,21 @@ mod tests {
         let a = bootstrap_edges(
             &data,
             quick_solver(),
-            BootstrapConfig { resamples: 4, threads: Some(1), ..Default::default() },
+            BootstrapConfig {
+                resamples: 4,
+                threads: Some(1),
+                ..Default::default()
+            },
         )
         .unwrap();
         let b = bootstrap_edges(
             &data,
             quick_solver(),
-            BootstrapConfig { resamples: 4, threads: Some(4), ..Default::default() },
+            BootstrapConfig {
+                resamples: 4,
+                threads: Some(4),
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(a.matrix().approx_eq(b.matrix(), 0.0));
@@ -258,7 +288,10 @@ mod tests {
         assert!(bootstrap_edges(
             &data,
             quick_solver(),
-            BootstrapConfig { resamples: 0, ..Default::default() },
+            BootstrapConfig {
+                resamples: 0,
+                ..Default::default()
+            },
         )
         .is_err());
     }

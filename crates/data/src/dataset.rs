@@ -112,9 +112,7 @@ mod tests {
     use super::*;
 
     fn toy() -> Dataset {
-        Dataset::new(
-            DenseMatrix::from_rows(&[&[1.0, 10.0], &[2.0, 20.0], &[3.0, 30.0]]).unwrap(),
-        )
+        Dataset::new(DenseMatrix::from_rows(&[&[1.0, 10.0], &[2.0, 20.0], &[3.0, 30.0]]).unwrap())
     }
 
     #[test]
@@ -165,9 +163,8 @@ mod tests {
 
     #[test]
     fn standardize_handles_constant_column() {
-        let mut ds = Dataset::new(
-            DenseMatrix::from_rows(&[&[5.0, 1.0], &[5.0, 2.0], &[5.0, 3.0]]).unwrap(),
-        );
+        let mut ds =
+            Dataset::new(DenseMatrix::from_rows(&[&[5.0, 1.0], &[5.0, 2.0], &[5.0, 3.0]]).unwrap());
         ds.standardize_columns();
         // Constant column centered to 0, not NaN.
         for row in ds.matrix().rows_iter() {

@@ -9,8 +9,8 @@
 //! the only approach that scales to the 10⁵-node graphs of Section V-B.
 
 use crate::noise::NoiseModel;
-use least_linalg::{CsrMatrix, DenseMatrix, LinalgError, Xoshiro256pp};
 use least_graph::DiGraph;
+use least_linalg::{CsrMatrix, DenseMatrix, LinalgError, Xoshiro256pp};
 
 /// Sample `n` i.i.d. LSEM observations for a ground-truth weighted DAG given
 /// densely. Returns an `n × d` sample matrix.
@@ -126,7 +126,10 @@ mod tests {
         let col0 = x.col(0);
         let mean = col0.iter().sum::<f64>() / col0.len() as f64;
         assert!((mean - noise.mean()).abs() < 0.02, "mean {mean}");
-        assert!(col0.iter().all(|&v| v >= 0.0), "exponential noise is nonnegative");
+        assert!(
+            col0.iter().all(|&v| v >= 0.0),
+            "exponential noise is nonnegative"
+        );
     }
 
     #[test]
@@ -144,12 +147,20 @@ mod tests {
         let g = least_graph::erdos_renyi_dag(20, 2, &mut rng);
         let w = weighted_adjacency_dense(&g, WeightRange::default(), &mut rng);
         let ws = least_linalg::CsrMatrix::from_dense(&w, 0.0);
-        let x_dense =
-            sample_lsem(&w, 50, NoiseModel::standard_gaussian(), &mut Xoshiro256pp::new(7))
-                .unwrap();
-        let x_sparse =
-            sample_lsem_sparse(&ws, 50, NoiseModel::standard_gaussian(), &mut Xoshiro256pp::new(7))
-                .unwrap();
+        let x_dense = sample_lsem(
+            &w,
+            50,
+            NoiseModel::standard_gaussian(),
+            &mut Xoshiro256pp::new(7),
+        )
+        .unwrap();
+        let x_sparse = sample_lsem_sparse(
+            &ws,
+            50,
+            NoiseModel::standard_gaussian(),
+            &mut Xoshiro256pp::new(7),
+        )
+        .unwrap();
         assert!(x_dense.approx_eq(&x_sparse, 1e-12));
     }
 
@@ -170,10 +181,20 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let w = two_node_chain(1.0);
-        let a = sample_lsem(&w, 10, NoiseModel::standard_gumbel(), &mut Xoshiro256pp::new(5))
-            .unwrap();
-        let b = sample_lsem(&w, 10, NoiseModel::standard_gumbel(), &mut Xoshiro256pp::new(5))
-            .unwrap();
+        let a = sample_lsem(
+            &w,
+            10,
+            NoiseModel::standard_gumbel(),
+            &mut Xoshiro256pp::new(5),
+        )
+        .unwrap();
+        let b = sample_lsem(
+            &w,
+            10,
+            NoiseModel::standard_gumbel(),
+            &mut Xoshiro256pp::new(5),
+        )
+        .unwrap();
         assert!(a.approx_eq(&b, 0.0));
     }
 

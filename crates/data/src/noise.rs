@@ -79,9 +79,7 @@ impl NoiseModel {
         match *self {
             NoiseModel::Gaussian { std_dev } => std_dev * std_dev,
             NoiseModel::Exponential { rate } => 1.0 / (rate * rate),
-            NoiseModel::Gumbel { scale } => {
-                std::f64::consts::PI.powi(2) / 6.0 * scale * scale
-            }
+            NoiseModel::Gumbel { scale } => std::f64::consts::PI.powi(2) / 6.0 * scale * scale,
         }
     }
 }

@@ -142,8 +142,11 @@ pub fn sparse_h(s: &CsrMatrix, dense_cap: usize) -> SparseHReport {
         nontrivial += 1;
         largest = largest.max(member.len());
         let k = member.len();
-        let index_of: std::collections::HashMap<u32, usize> =
-            member.iter().enumerate().map(|(local, &v)| (v, local)).collect();
+        let index_of: std::collections::HashMap<u32, usize> = member
+            .iter()
+            .enumerate()
+            .map(|(local, &v)| (v, local))
+            .collect();
         if k <= dense_cap {
             let mut sub = DenseMatrix::zeros(k, k);
             for (local, &v) in member.iter().enumerate() {
@@ -176,7 +179,11 @@ pub fn sparse_h(s: &CsrMatrix, dense_cap: usize) -> SparseHReport {
         }
     }
     let _ = d;
-    SparseHReport { h, nontrivial_sccs: nontrivial, largest_scc: largest }
+    SparseHReport {
+        h,
+        nontrivial_sccs: nontrivial,
+        largest_scc: largest,
+    }
 }
 
 #[cfg(test)]

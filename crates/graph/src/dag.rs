@@ -19,7 +19,10 @@ pub struct DiGraph {
 impl DiGraph {
     /// Empty graph with `n` nodes.
     pub fn new(n: usize) -> Self {
-        Self { adj: vec![Vec::new(); n], edge_count: 0 }
+        Self {
+            adj: vec![Vec::new(); n],
+            edge_count: 0,
+        }
     }
 
     /// Build from an edge list; duplicate edges are collapsed.
@@ -62,7 +65,10 @@ impl DiGraph {
     /// Add a single edge (callers batching many edges should call
     /// [`Self::normalize`] afterwards; the `from_*` constructors do).
     pub fn add_edge(&mut self, u: usize, v: usize) {
-        assert!(u < self.adj.len() && v < self.adj.len(), "edge ({u},{v}) out of bounds");
+        assert!(
+            u < self.adj.len() && v < self.adj.len(),
+            "edge ({u},{v}) out of bounds"
+        );
         self.adj[u].push(v as u32);
         self.edge_count += 1;
     }
@@ -124,8 +130,7 @@ impl DiGraph {
     pub fn topological_sort(&self) -> Option<Vec<usize>> {
         let n = self.node_count();
         let mut in_deg = self.in_degrees();
-        let mut queue: VecDeque<usize> =
-            (0..n).filter(|&v| in_deg[v] == 0).collect();
+        let mut queue: VecDeque<usize> = (0..n).filter(|&v| in_deg[v] == 0).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(u) = queue.pop_front() {
             order.push(u);
@@ -255,8 +260,9 @@ impl DiGraph {
                 }
             }
         }
-        let nodes: Vec<usize> =
-            (0..self.node_count()).filter(|&v| dist[v] != usize::MAX).collect();
+        let nodes: Vec<usize> = (0..self.node_count())
+            .filter(|&v| dist[v] != usize::MAX)
+            .collect();
         let index_of: std::collections::HashMap<usize, usize> =
             nodes.iter().enumerate().map(|(i, &v)| (v, i)).collect();
         let mut sub = DiGraph::new(nodes.len());

@@ -22,7 +22,11 @@ pub struct DotOptions {
 
 impl Default for DotOptions {
     fn default() -> Self {
-        Self { name: "learned".into(), left_to_right: false, color_by_sign: true }
+        Self {
+            name: "learned".into(),
+            left_to_right: false,
+            color_by_sign: true,
+        }
     }
 }
 
@@ -126,7 +130,11 @@ mod tests {
     #[test]
     fn escaping_quotes() {
         let g = DiGraph::from_edges(1, &[]);
-        let dot = to_dot(&g, &[String::from("movie \"Alien\"")], &DotOptions::default());
+        let dot = to_dot(
+            &g,
+            &[String::from("movie \"Alien\"")],
+            &DotOptions::default(),
+        );
         assert!(dot.contains("movie \\\"Alien\\\""));
     }
 
@@ -157,7 +165,10 @@ mod tests {
     #[test]
     fn rankdir_option() {
         let g = DiGraph::new(1);
-        let opts = DotOptions { left_to_right: true, ..Default::default() };
+        let opts = DotOptions {
+            left_to_right: true,
+            ..Default::default()
+        };
         assert!(to_dot(&g, &[], &opts).contains("rankdir=LR"));
     }
 }

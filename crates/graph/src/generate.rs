@@ -184,7 +184,10 @@ mod tests {
         let mut rng = Xoshiro256pp::new(45);
         let g = erdos_renyi_dag(100, 4, &mut rng);
         let backwards = g.edges().filter(|&(u, v)| u > v).count();
-        assert!(backwards > 0, "edges all follow node-id order: permutation broken");
+        assert!(
+            backwards > 0,
+            "edges all follow node-id order: permutation broken"
+        );
     }
 
     #[test]

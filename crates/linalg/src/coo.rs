@@ -24,7 +24,11 @@ impl Coo {
     /// beyond the paper's largest graph (159k nodes).
     pub fn new(rows: usize, cols: usize) -> Self {
         assert!(rows <= u32::MAX as usize && cols <= u32::MAX as usize);
-        Self { rows, cols, entries: Vec::new() }
+        Self {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
     }
 
     /// Builder with pre-reserved capacity.

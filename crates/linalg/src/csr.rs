@@ -15,7 +15,12 @@
 use crate::coo::Coo;
 use crate::dense::DenseMatrix;
 use crate::error::LinalgError;
+use crate::par;
 use crate::Result;
+
+/// Minimum stored entries before the row-parallel kernels split the work
+/// across threads; below this the spawn overhead dominates.
+const PAR_NNZ_THRESHOLD: usize = 1 << 15;
 
 /// Sparse `f64` matrix in CSR format with `u32` indices.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,7 +55,13 @@ impl CsrMatrix {
                 debug_assert!(w[0] < w[1], "columns not strictly increasing in row {r}");
             }
         }
-        Self { rows, cols, row_ptr, col_idx, values }
+        Self {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Empty matrix with no stored entries.
@@ -166,27 +177,64 @@ impl CsrMatrix {
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
         (0..self.rows).flat_map(move |r| {
             let (cols, vals) = self.row(r);
-            cols.iter().zip(vals).map(move |(&c, &v)| (r, c as usize, v))
+            cols.iter()
+                .zip(vals)
+                .map(move |(&c, &v)| (r, c as usize, v))
         })
     }
 
-    /// Row sums, `O(nnz)`.
-    pub fn row_sums(&self) -> Vec<f64> {
-        (0..self.rows)
-            .map(|r| {
-                let (s, e) = (self.row_ptr[r] as usize, self.row_ptr[r + 1] as usize);
-                self.values[s..e].iter().sum()
-            })
-            .collect()
+    /// True when the matrix is large enough for the row-parallel kernels.
+    #[inline]
+    fn parallel_worthwhile(&self) -> bool {
+        self.nnz() >= PAR_NNZ_THRESHOLD && par::max_threads() > 1
     }
 
-    /// Column sums, `O(nnz)`.
-    pub fn col_sums(&self) -> Vec<f64> {
-        let mut sums = vec![0.0; self.cols];
-        for (&c, &v) in self.col_idx.iter().zip(&self.values) {
-            sums[c as usize] += v;
+    /// Per-thread row count for row-block parallel kernels.
+    #[inline]
+    fn rows_per_block(&self) -> usize {
+        self.rows.div_ceil(par::max_threads()).max(1)
+    }
+
+    /// Row sums, `O(nnz)`; row-parallel for large matrices.
+    pub fn row_sums(&self) -> Vec<f64> {
+        let row_sum = |r: usize| -> f64 {
+            let (s, e) = (self.row_ptr[r] as usize, self.row_ptr[r + 1] as usize);
+            self.values[s..e].iter().sum()
+        };
+        if !self.parallel_worthwhile() {
+            return (0..self.rows).map(row_sum).collect();
         }
-        sums
+        let mut out = vec![0.0; self.rows];
+        let rows_per = self.rows_per_block();
+        par::for_each_chunk_mut(&mut out, rows_per, |block, chunk| {
+            for (i, o) in chunk.iter_mut().enumerate() {
+                *o = row_sum(block * rows_per + i);
+            }
+        });
+        out
+    }
+
+    /// Column sums, `O(nnz)`; for large matrices each thread scatters into
+    /// a private accumulator and the partials are combined in row order.
+    pub fn col_sums(&self) -> Vec<f64> {
+        if !self.parallel_worthwhile() {
+            let mut sums = vec![0.0; self.cols];
+            for (&c, &v) in self.col_idx.iter().zip(&self.values) {
+                sums[c as usize] += v;
+            }
+            return sums;
+        }
+        par::accumulate_ranges(self.rows, self.rows_per_block(), self.cols, |rows| {
+            let mut local = vec![0.0; self.cols];
+            let (s, e) = (
+                self.row_ptr[rows.start] as usize,
+                self.row_ptr[rows.end] as usize,
+            );
+            for (&c, &v) in self.col_idx[s..e].iter().zip(&self.values[s..e]) {
+                local[c as usize] += v;
+            }
+            local
+        })
     }
 
     /// Sum of absolute values.
@@ -230,18 +278,40 @@ impl CsrMatrix {
                 self.rows
             )));
         }
-        for r in 0..self.rows {
-            let (s, e) = (self.row_ptr[r] as usize, self.row_ptr[r + 1] as usize);
-            let inv_r = if scale[r] > 0.0 { 1.0 / scale[r] } else { 0.0 };
-            for (pos, v) in self.values[s..e].iter_mut().enumerate() {
-                let c = self.col_idx[s + pos] as usize;
-                *v *= inv_r * scale[c];
+        let ranges = if self.parallel_worthwhile() {
+            par::split_ranges(self.rows, self.rows_per_block())
+        } else if self.rows == 0 {
+            Vec::new()
+        } else {
+            std::iter::once(0..self.rows).collect()
+        };
+        // Each row block owns the contiguous value span
+        // `row_ptr[block.start]..row_ptr[block.end]`, so the value array can
+        // be split at block boundaries and scaled in parallel.
+        let bounds: Vec<usize> = ranges
+            .iter()
+            .skip(1)
+            .map(|r| self.row_ptr[r.start] as usize)
+            .collect();
+        let (row_ptr, col_idx) = (&self.row_ptr, &self.col_idx);
+        par::for_each_split_mut(&mut self.values, &bounds, |piece, vals| {
+            let Some(rows) = ranges.get(piece) else {
+                return;
+            };
+            let base = row_ptr[rows.start] as usize;
+            for r in rows.clone() {
+                let (s, e) = (row_ptr[r] as usize, row_ptr[r + 1] as usize);
+                let inv_r = if scale[r] > 0.0 { 1.0 / scale[r] } else { 0.0 };
+                for (v, &c) in vals[s - base..e - base].iter_mut().zip(&col_idx[s..e]) {
+                    *v *= inv_r * scale[c as usize];
+                }
             }
-        }
+        });
         Ok(())
     }
 
-    /// Sparse matrix × dense vector: `out = self · v`.
+    /// Sparse matrix × dense vector: `out = self · v`. Output rows are
+    /// independent, so large matrices compute row blocks in parallel.
     pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
         if v.len() != self.cols {
             return Err(LinalgError::ShapeMismatch {
@@ -249,11 +319,23 @@ impl CsrMatrix {
                 expected: (self.cols, 1),
             });
         }
-        let mut out = vec![0.0; self.rows];
-        for (r, o) in out.iter_mut().enumerate() {
+        let dot_row = |r: usize| -> f64 {
             let (cols, vals) = self.row(r);
-            *o = cols.iter().zip(vals).map(|(&c, &x)| x * v[c as usize]).sum();
+            cols.iter()
+                .zip(vals)
+                .map(|(&c, &x)| x * v[c as usize])
+                .sum()
+        };
+        if !self.parallel_worthwhile() {
+            return Ok((0..self.rows).map(dot_row).collect());
         }
+        let mut out = vec![0.0; self.rows];
+        let rows_per = self.rows_per_block();
+        par::for_each_chunk_mut(&mut out, rows_per, |block, chunk| {
+            for (i, o) in chunk.iter_mut().enumerate() {
+                *o = dot_row(block * rows_per + i);
+            }
+        });
         Ok(out)
     }
 
@@ -391,7 +473,13 @@ mod tests {
         // [ 0 0 3 ]
         // [ 4 5 0 ]
         let mut coo = Coo::new(3, 3);
-        for &(i, j, v) in &[(0, 0, 1.0), (0, 2, 2.0), (1, 2, 3.0), (2, 0, 4.0), (2, 1, 5.0)] {
+        for &(i, j, v) in &[
+            (0, 0, 1.0),
+            (0, 2, 2.0),
+            (1, 2, 3.0),
+            (2, 0, 4.0),
+            (2, 1, 5.0),
+        ] {
             coo.push(i, j, v).unwrap();
         }
         coo.to_csr()

@@ -24,7 +24,11 @@ pub struct DenseMatrix {
 impl DenseMatrix {
     /// Zero matrix of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Identity matrix of order `n`.
@@ -69,7 +73,11 @@ impl DenseMatrix {
         for row in rows {
             data.extend_from_slice(row);
         }
-        Ok(Self { rows: r, cols: c, data })
+        Ok(Self {
+            rows: r,
+            cols: c,
+            data,
+        })
     }
 
     /// Number of rows.
@@ -122,7 +130,9 @@ impl DenseMatrix {
 
     /// Copy column `j` into a fresh vector.
     pub fn col(&self, j: usize) -> Vec<f64> {
-        (0..self.rows).map(|i| self.data[i * self.cols + j]).collect()
+        (0..self.rows)
+            .map(|i| self.data[i * self.cols + j])
+            .collect()
     }
 
     /// Iterate over rows as slices.
@@ -133,7 +143,10 @@ impl DenseMatrix {
     /// Checked element access.
     pub fn get(&self, i: usize, j: usize) -> Result<f64> {
         if i >= self.rows || j >= self.cols {
-            return Err(LinalgError::IndexOutOfBounds { index: (i, j), shape: self.shape() });
+            return Err(LinalgError::IndexOutOfBounds {
+                index: (i, j),
+                shape: self.shape(),
+            });
         }
         Ok(self.data[i * self.cols + j])
     }
@@ -141,7 +154,10 @@ impl DenseMatrix {
     /// Checked element write.
     pub fn set(&mut self, i: usize, j: usize, v: f64) -> Result<()> {
         if i >= self.rows || j >= self.cols {
-            return Err(LinalgError::IndexOutOfBounds { index: (i, j), shape: self.shape() });
+            return Err(LinalgError::IndexOutOfBounds {
+                index: (i, j),
+                shape: self.shape(),
+            });
         }
         self.data[i * self.cols + j] = v;
         Ok(())
@@ -149,7 +165,11 @@ impl DenseMatrix {
 
     /// Element-wise map into a new matrix.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Self {
-        Self { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
     }
 
     /// In-place element-wise map.
@@ -162,13 +182,25 @@ impl DenseMatrix {
     /// Element-wise combination of two equally-shaped matrices.
     pub fn zip_with(&self, other: &Self, f: impl Fn(f64, f64) -> f64) -> Result<Self> {
         self.check_same_shape(other)?;
-        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
-        Ok(Self { rows: self.rows, cols: self.cols, data })
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(Self {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
     }
 
     fn check_same_shape(&self, other: &Self) -> Result<()> {
         if self.shape() != other.shape() {
-            return Err(LinalgError::ShapeMismatch { found: other.shape(), expected: self.shape() });
+            return Err(LinalgError::ShapeMismatch {
+                found: other.shape(),
+                expected: self.shape(),
+            });
         }
         Ok(())
     }
@@ -229,7 +261,9 @@ impl DenseMatrix {
     /// Trace (requires square).
     pub fn trace(&self) -> Result<f64> {
         if !self.is_square() {
-            return Err(LinalgError::NotSquare { shape: self.shape() });
+            return Err(LinalgError::NotSquare {
+                shape: self.shape(),
+            });
         }
         Ok((0..self.rows).map(|i| self.data[i * self.cols + i]).sum())
     }
@@ -355,14 +389,9 @@ impl DenseMatrix {
             return Ok(out);
         }
         let rows_per = m.div_ceil(threads);
-        std::thread::scope(|scope| {
-            let a = &self.data;
-            let b = &other.data;
-            for (block_idx, out_block) in out.data.chunks_mut(rows_per * n).enumerate() {
-                scope.spawn(move || {
-                    matmul_rows(a, b, out_block, k, n, block_idx * rows_per);
-                });
-            }
+        let (a, b) = (&self.data, &other.data);
+        crate::par::for_each_chunk_mut(&mut out.data, rows_per * n, |block_idx, out_block| {
+            matmul_rows(a, b, out_block, k, n, block_idx * rows_per);
         });
         Ok(out)
     }
@@ -378,20 +407,36 @@ impl DenseMatrix {
         }
         let (k, m, n) = (self.rows, self.cols, other.cols);
         let mut out = Self::zeros(m, n);
+        let flops = k.saturating_mul(m).saturating_mul(n);
         // out[i][j] = sum_r a[r][i] * b[r][j]; accumulate rank-1 updates.
-        for r in 0..k {
-            let arow = self.row(r);
-            let brow = other.row(r);
-            for (i, &ai) in arow.iter().enumerate() {
-                if ai == 0.0 {
-                    continue;
-                }
-                let orow = &mut out.data[i * n..(i + 1) * n];
-                for (o, &bj) in orow.iter_mut().zip(brow) {
-                    *o += ai * bj;
+        let accumulate = |out_block: &mut [f64], lo: usize, hi: usize| {
+            for r in 0..k {
+                let arow = self.row(r);
+                let brow = other.row(r);
+                for (i, &ai) in arow[lo..hi].iter().enumerate() {
+                    if ai == 0.0 {
+                        continue;
+                    }
+                    let orow = &mut out_block[i * n..(i + 1) * n];
+                    for (o, &bj) in orow.iter_mut().zip(brow) {
+                        *o += ai * bj;
+                    }
                 }
             }
+        };
+        let threads = available_threads();
+        if flops < PAR_FLOP_THRESHOLD || threads <= 1 || m < 2 {
+            accumulate(&mut out.data, 0, m);
+            return Ok(out);
         }
+        // Output rows are disjoint across blocks; each worker replays the
+        // rank-1 sweep for its own column slice of `self`.
+        let rows_per = m.div_ceil(threads);
+        crate::par::for_each_chunk_mut(&mut out.data, rows_per * n, |block, out_block| {
+            let lo = block * rows_per;
+            let hi = (lo + out_block.len() / n).min(m);
+            accumulate(out_block, lo, hi);
+        });
         Ok(out)
     }
 
@@ -407,8 +452,7 @@ impl DenseMatrix {
 
     /// Approximate equality within `tol` (absolute, element-wise).
     pub fn approx_eq(&self, other: &Self, tol: f64) -> bool {
-        self.shape() == other.shape()
-            && self.max_abs_diff(other).map(|d| d <= tol).unwrap_or(false)
+        self.shape() == other.shape() && self.max_abs_diff(other).map(|d| d <= tol).unwrap_or(false)
     }
 }
 
@@ -430,10 +474,10 @@ fn matmul_rows(a: &[f64], b: &[f64], out: &mut [f64], k: usize, n: usize, row_of
     }
 }
 
-/// Worker-thread count for parallel kernels, capped to keep spawn overhead
-/// sane on very wide machines.
+/// Worker-thread count for parallel kernels (see [`crate::par`]; compile-
+/// time 1 without the `parallel` feature).
 pub(crate) fn available_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(16)
+    crate::par::max_threads()
 }
 
 impl Index<(usize, usize)> for DenseMatrix {
@@ -515,8 +559,7 @@ mod tests {
         let a = sample(); // 2x3
         let b = DenseMatrix::from_rows(&[&[7.0, 8.0], &[9.0, 10.0], &[11.0, 12.0]]).unwrap();
         let c = a.matmul(&b).unwrap();
-        let expected =
-            DenseMatrix::from_rows(&[&[58.0, 64.0], &[139.0, 154.0]]).unwrap();
+        let expected = DenseMatrix::from_rows(&[&[58.0, 64.0], &[139.0, 154.0]]).unwrap();
         assert!(c.approx_eq(&expected, 1e-12));
     }
 
@@ -536,7 +579,14 @@ mod tests {
         let big = a.matmul(&b).unwrap();
         // Serial reference on the same data.
         let mut reference = DenseMatrix::zeros(n, n);
-        matmul_rows(a.as_slice(), b.as_slice(), reference.as_mut_slice(), n, n, 0);
+        matmul_rows(
+            a.as_slice(),
+            b.as_slice(),
+            reference.as_mut_slice(),
+            n,
+            n,
+            0,
+        );
         assert!(big.approx_eq(&reference, 1e-9));
     }
 
@@ -548,6 +598,18 @@ mod tests {
         let fast = a.t_matmul(&b).unwrap();
         let slow = a.transpose().matmul(&b).unwrap();
         assert!(fast.approx_eq(&slow, 1e-10));
+    }
+
+    #[test]
+    fn parallel_t_matmul_matches_explicit_transpose() {
+        // Big enough to trigger the threaded rank-1 path.
+        let n = 200;
+        let mut rng = crate::rng::Xoshiro256pp::new(79);
+        let a = DenseMatrix::from_fn(n, n, |_, _| rng.gaussian());
+        let b = DenseMatrix::from_fn(n, n, |_, _| rng.gaussian());
+        let fast = a.t_matmul(&b).unwrap();
+        let slow = a.transpose().matmul(&b).unwrap();
+        assert!(fast.approx_eq(&slow, 1e-9));
     }
 
     #[test]

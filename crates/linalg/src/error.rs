@@ -7,9 +7,15 @@ use std::fmt;
 pub enum LinalgError {
     /// Two operands had incompatible shapes. Carries `(found, expected)`
     /// rendered as `rows x cols` strings for readable messages.
-    ShapeMismatch { found: (usize, usize), expected: (usize, usize) },
+    ShapeMismatch {
+        found: (usize, usize),
+        expected: (usize, usize),
+    },
     /// An index was out of bounds for the matrix dimensions.
-    IndexOutOfBounds { index: (usize, usize), shape: (usize, usize) },
+    IndexOutOfBounds {
+        index: (usize, usize),
+        shape: (usize, usize),
+    },
     /// The matrix must be square for this operation (trace, LU, expm, ...).
     NotSquare { shape: (usize, usize) },
     /// LU factorization hit a zero pivot: the matrix is singular (or so
@@ -36,12 +42,19 @@ impl fmt::Display for LinalgError {
                 index.0, index.1, shape.0, shape.1
             ),
             LinalgError::NotSquare { shape } => {
-                write!(f, "operation requires a square matrix, got {}x{}", shape.0, shape.1)
+                write!(
+                    f,
+                    "operation requires a square matrix, got {}x{}",
+                    shape.0, shape.1
+                )
             }
             LinalgError::Singular { pivot } => {
                 write!(f, "matrix is singular (zero pivot at column {pivot})")
             }
-            LinalgError::NoConvergence { iterations, residual } => write!(
+            LinalgError::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
                 f,
                 "iteration failed to converge after {iterations} steps (residual {residual:.3e})"
             ),
@@ -58,7 +71,10 @@ mod tests {
 
     #[test]
     fn display_shape_mismatch() {
-        let e = LinalgError::ShapeMismatch { found: (2, 3), expected: (3, 3) };
+        let e = LinalgError::ShapeMismatch {
+            found: (2, 3),
+            expected: (3, 3),
+        };
         assert_eq!(e.to_string(), "shape mismatch: found 2x3, expected 3x3");
     }
 

@@ -139,7 +139,9 @@ mod tests {
     fn scaling_path_matches_series_for_large_norm() {
         // ||A|| >> theta_13 forces s > 0; compare against the Taylor series
         // evaluated with many terms (converges since we use modest entries).
-        let a = DenseMatrix::from_rows(&[&[3.0, 4.0], &[1.0, 3.0]]).unwrap().scaled(2.0);
+        let a = DenseMatrix::from_rows(&[&[3.0, 4.0], &[1.0, 3.0]])
+            .unwrap()
+            .scaled(2.0);
         let e = expm(&a).unwrap();
         // Taylor with compensated term count.
         let n = a.rows();

@@ -35,7 +35,9 @@ pub fn glorot_dense(d: usize, rng: &mut Xoshiro256pp) -> DenseMatrix {
 /// "Adam is operating on sparse matrices only".
 pub fn glorot_sparse(d: usize, zeta: f64, rng: &mut Xoshiro256pp) -> Result<CsrMatrix> {
     if !(0.0..=1.0).contains(&zeta) {
-        return Err(crate::LinalgError::InvalidArgument(format!("density zeta={zeta} not in [0,1]")));
+        return Err(crate::LinalgError::InvalidArgument(format!(
+            "density zeta={zeta} not in [0,1]"
+        )));
     }
     let slots = d.saturating_mul(d.saturating_sub(1));
     let target = ((slots as f64) * zeta).round() as usize;

@@ -25,6 +25,7 @@ pub mod expm;
 pub mod init;
 pub mod lu;
 pub mod matpow;
+pub mod par;
 pub mod power_iter;
 pub mod rng;
 pub mod trace_est;

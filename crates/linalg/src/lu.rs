@@ -89,7 +89,10 @@ impl LuFactorization {
     pub fn solve_vec(&self, b: &[f64]) -> Result<Vec<f64>> {
         let n = self.order();
         if b.len() != n {
-            return Err(LinalgError::ShapeMismatch { found: (b.len(), 1), expected: (n, 1) });
+            return Err(LinalgError::ShapeMismatch {
+                found: (b.len(), 1),
+                expected: (n, 1),
+            });
         }
         // Apply permutation, then forward- and back-substitute.
         let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
@@ -114,7 +117,10 @@ impl LuFactorization {
     pub fn solve_matrix(&self, b: &DenseMatrix) -> Result<DenseMatrix> {
         let n = self.order();
         if b.rows() != n {
-            return Err(LinalgError::ShapeMismatch { found: b.shape(), expected: (n, b.cols()) });
+            return Err(LinalgError::ShapeMismatch {
+                found: b.shape(),
+                expected: (n, b.cols()),
+            });
         }
         let mut out = DenseMatrix::zeros(n, b.cols());
         let mut col = vec![0.0; n];
@@ -160,13 +166,19 @@ mod tests {
     #[test]
     fn singular_matrix_rejected() {
         let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
-        assert!(matches!(LuFactorization::new(&a), Err(LinalgError::Singular { .. })));
+        assert!(matches!(
+            LuFactorization::new(&a),
+            Err(LinalgError::Singular { .. })
+        ));
     }
 
     #[test]
     fn non_square_rejected() {
         let a = DenseMatrix::zeros(2, 3);
-        assert!(matches!(LuFactorization::new(&a), Err(LinalgError::NotSquare { .. })));
+        assert!(matches!(
+            LuFactorization::new(&a),
+            Err(LinalgError::NotSquare { .. })
+        ));
     }
 
     #[test]
@@ -219,7 +231,11 @@ mod tests {
         let b: Vec<f64> = (0..n).map(|_| rng.gaussian()).collect();
         let x = LuFactorization::new(&a).unwrap().solve_vec(&b).unwrap();
         let ax = a.matvec(&x).unwrap();
-        let residual: f64 = ax.iter().zip(&b).map(|(p, q)| (p - q).abs()).fold(0.0, f64::max);
+        let residual: f64 = ax
+            .iter()
+            .zip(&b)
+            .map(|(p, q)| (p - q).abs())
+            .fold(0.0, f64::max);
         assert!(residual < 1e-10, "residual {residual}");
     }
 }

@@ -44,7 +44,9 @@ mod tests {
     #[test]
     fn power_zero_is_identity() {
         let a = DenseMatrix::from_rows(&[&[2.0, 1.0], &[0.0, 2.0]]).unwrap();
-        assert!(matrix_power(&a, 0).unwrap().approx_eq(&DenseMatrix::identity(2), 0.0));
+        assert!(matrix_power(&a, 0)
+            .unwrap()
+            .approx_eq(&DenseMatrix::identity(2), 0.0));
     }
 
     #[test]
@@ -71,12 +73,8 @@ mod tests {
     #[test]
     fn nilpotent_power_vanishes() {
         // Strictly upper triangular (a DAG adjacency) is nilpotent: A^d = 0.
-        let a = DenseMatrix::from_rows(&[
-            &[0.0, 1.0, 1.0],
-            &[0.0, 0.0, 1.0],
-            &[0.0, 0.0, 0.0],
-        ])
-        .unwrap();
+        let a = DenseMatrix::from_rows(&[&[0.0, 1.0, 1.0], &[0.0, 0.0, 1.0], &[0.0, 0.0, 0.0]])
+            .unwrap();
         let p = matrix_power(&a, 3).unwrap();
         assert!(p.approx_eq(&DenseMatrix::zeros(3, 3), 0.0));
     }

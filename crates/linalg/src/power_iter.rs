@@ -47,7 +47,10 @@ pub struct PowerIterConfig {
 
 impl Default for PowerIterConfig {
     fn default() -> Self {
-        Self { max_iter: 500, tol: 1e-12 }
+        Self {
+            max_iter: 500,
+            tol: 1e-12,
+        }
     }
 }
 
@@ -57,7 +60,11 @@ pub fn spectral_radius_dense(s: &DenseMatrix, cfg: PowerIterConfig) -> SpectralR
     assert!(s.is_square(), "spectral radius requires a square matrix");
     let n = s.rows();
     if n == 0 {
-        return SpectralRadius { value: 0.0, iterations: 0, converged: true };
+        return SpectralRadius {
+            value: 0.0,
+            iterations: 0,
+            converged: true,
+        };
     }
     // Invariant: S^(2^m) = a · e^(log_scale), element-wise scale tracked in
     // log space to avoid overflow/underflow across squarings.
@@ -70,7 +77,11 @@ pub fn spectral_radius_dense(s: &DenseMatrix, cfg: PowerIterConfig) -> SpectralR
         let f = a.max_abs();
         if f == 0.0 {
             // S^(2^m) = 0: nilpotent, i.e. a DAG adjacency. Radius exactly 0.
-            return SpectralRadius { value: 0.0, iterations: m, converged: true };
+            return SpectralRadius {
+                value: 0.0,
+                iterations: m,
+                converged: true,
+            };
         }
         let k = (1u128) << m;
         let new_estimate = ((f.ln() + log_scale) / k as f64).exp();
@@ -86,7 +97,11 @@ pub fn spectral_radius_dense(s: &DenseMatrix, cfg: PowerIterConfig) -> SpectralR
         if rel_change < cfg.tol {
             stable_steps += 1;
             if stable_steps >= 3 && m >= 12 {
-                return SpectralRadius { value: estimate, iterations: m, converged: true };
+                return SpectralRadius {
+                    value: estimate,
+                    iterations: m,
+                    converged: true,
+                };
             }
         } else {
             stable_steps = 0;
@@ -98,16 +113,28 @@ pub fn spectral_radius_dense(s: &DenseMatrix, cfg: PowerIterConfig) -> SpectralR
     // At k = 2^56 the Gelfand error factor c^{1/k} is ≤ 1 + 1e-10 for any
     // reasonable constant, so the estimate is accurate even when the strict
     // stability criterion was not met.
-    SpectralRadius { value: estimate, iterations: max_squarings, converged: false }
+    SpectralRadius {
+        value: estimate,
+        iterations: max_squarings,
+        converged: false,
+    }
 }
 
 /// Spectral radius of a non-negative CSR matrix via power iteration.
 /// `O(nnz)` per iteration.
 pub fn spectral_radius_csr(s: &CsrMatrix, cfg: PowerIterConfig) -> SpectralRadius {
-    assert_eq!(s.rows(), s.cols(), "spectral radius requires a square matrix");
+    assert_eq!(
+        s.rows(),
+        s.cols(),
+        "spectral radius requires a square matrix"
+    );
     let n = s.rows();
     if n == 0 {
-        return SpectralRadius { value: 0.0, iterations: 0, converged: true };
+        return SpectralRadius {
+            value: 0.0,
+            iterations: 0,
+            converged: true,
+        };
     }
     // Strictly positive start avoids missing the Perron vector.
     let mut v = vec![1.0 / (n as f64).sqrt(); n];
@@ -118,7 +145,11 @@ pub fn spectral_radius_csr(s: &CsrMatrix, cfg: PowerIterConfig) -> SpectralRadiu
         let norm = vecops::norm2(&w);
         if norm <= f64::MIN_POSITIVE * n as f64 {
             // Nilpotent: iterate annihilated => radius 0 (exact for DAGs).
-            return SpectralRadius { value: 0.0, iterations: it + 1, converged: true };
+            return SpectralRadius {
+                value: 0.0,
+                iterations: it + 1,
+                converged: true,
+            };
         }
         log_ratios.push(norm.ln());
         let rel_change = (norm - estimate).abs() / norm.max(1e-300);
@@ -126,7 +157,11 @@ pub fn spectral_radius_csr(s: &CsrMatrix, cfg: PowerIterConfig) -> SpectralRadiu
         v = w;
         vecops::scale(1.0 / norm, &mut v);
         if it > 0 && rel_change < cfg.tol {
-            return SpectralRadius { value: estimate, iterations: it + 1, converged: true };
+            return SpectralRadius {
+                value: estimate,
+                iterations: it + 1,
+                converged: true,
+            };
         }
     }
     // Not converged (often a periodic matrix): fall back to the geometric
@@ -134,7 +169,11 @@ pub fn spectral_radius_csr(s: &CsrMatrix, cfg: PowerIterConfig) -> SpectralRadiu
     // oscillation at O(1/max_iter) accuracy.
     let half = &log_ratios[log_ratios.len() / 2..];
     let mean = half.iter().sum::<f64>() / half.len() as f64;
-    SpectralRadius { value: mean.exp(), iterations: cfg.max_iter, converged: false }
+    SpectralRadius {
+        value: mean.exp(),
+        iterations: cfg.max_iter,
+        converged: false,
+    }
 }
 
 #[cfg(test)]
@@ -155,12 +194,8 @@ mod tests {
 
     #[test]
     fn dag_adjacency_has_zero_radius() {
-        let s = DenseMatrix::from_rows(&[
-            &[0.0, 2.0, 1.0],
-            &[0.0, 0.0, 4.0],
-            &[0.0, 0.0, 0.0],
-        ])
-        .unwrap();
+        let s = DenseMatrix::from_rows(&[&[0.0, 2.0, 1.0], &[0.0, 0.0, 4.0], &[0.0, 0.0, 0.0]])
+            .unwrap();
         let r = spectral_radius_dense(&s, PowerIterConfig::default());
         assert_eq!(r.value, 0.0);
         assert!(r.converged);
@@ -177,12 +212,8 @@ mod tests {
     #[test]
     fn three_cycle_radius() {
         // Cycle with weights 2, 3, 4: rho = (24)^(1/3).
-        let s = DenseMatrix::from_rows(&[
-            &[0.0, 2.0, 0.0],
-            &[0.0, 0.0, 3.0],
-            &[4.0, 0.0, 0.0],
-        ])
-        .unwrap();
+        let s = DenseMatrix::from_rows(&[&[0.0, 2.0, 0.0], &[0.0, 0.0, 3.0], &[4.0, 0.0, 0.0]])
+            .unwrap();
         assert!((dense_radius(&s) - 24f64.powf(1.0 / 3.0)).abs() < 1e-6);
     }
 
@@ -200,7 +231,10 @@ mod tests {
             });
             let radius = dense_radius(&s);
             let max_row = s.row_sums().into_iter().fold(0.0, f64::max);
-            assert!(radius <= max_row + 1e-8, "radius {radius} > max row sum {max_row}");
+            assert!(
+                radius <= max_row + 1e-8,
+                "radius {radius} > max row sum {max_row}"
+            );
         }
     }
 
@@ -210,7 +244,8 @@ mod tests {
         let n = 30;
         let mut coo = Coo::new(n, n);
         for _ in 0..140 {
-            coo.push(rng.next_below(n), rng.next_below(n), rng.next_f64()).unwrap();
+            coo.push(rng.next_below(n), rng.next_below(n), rng.next_f64())
+                .unwrap();
         }
         // A few diagonal entries make the matrix aperiodic, the regime where
         // the CSR power iteration is reliable.
@@ -247,7 +282,11 @@ mod tests {
         coo.push(1, 0, 9.0).unwrap();
         let r = spectral_radius_csr(&coo.to_csr(), PowerIterConfig::default());
         assert!(!r.converged);
-        assert!((r.value - 6.0).abs() < 0.05, "fallback estimate {}", r.value);
+        assert!(
+            (r.value - 6.0).abs() < 0.05,
+            "fallback estimate {}",
+            r.value
+        );
     }
 
     #[test]
@@ -262,7 +301,13 @@ mod tests {
         // [[1, 1], [0, 1]]: rho = 1 but the matrix is defective; Gelfand
         // still converges (the polynomial growth factor k^{1/k} → 1).
         let s = DenseMatrix::from_rows(&[&[1.0, 1.0], &[0.0, 1.0]]).unwrap();
-        let r = spectral_radius_dense(&s, PowerIterConfig { max_iter: 64, tol: 1e-12 });
+        let r = spectral_radius_dense(
+            &s,
+            PowerIterConfig {
+                max_iter: 64,
+                tol: 1e-12,
+            },
+        );
         assert!((r.value - 1.0).abs() < 1e-5, "estimate {}", r.value);
     }
 }

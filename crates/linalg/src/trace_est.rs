@@ -36,7 +36,11 @@ pub struct HutchinsonConfig {
 
 impl Default for HutchinsonConfig {
     fn default() -> Self {
-        Self { probes: 16, series_terms: 20, seed: 0x5EED }
+        Self {
+            probes: 16,
+            series_terms: 20,
+            seed: 0x5EED,
+        }
     }
 }
 
@@ -48,7 +52,9 @@ pub fn trace_power_estimate(s: &CsrMatrix, k: usize, cfg: HutchinsonConfig) -> f
     let n = s.rows();
     let mut acc = 0.0;
     for _ in 0..cfg.probes {
-        let z: Vec<f64> = (0..n).map(|_| if rng.bernoulli(0.5) { 1.0 } else { -1.0 }).collect();
+        let z: Vec<f64> = (0..n)
+            .map(|_| if rng.bernoulli(0.5) { 1.0 } else { -1.0 })
+            .collect();
         let mut w = z.clone();
         for _ in 0..k {
             w = s.matvec(&w).expect("square by assert");
@@ -73,7 +79,9 @@ pub fn estimate_h(s: &CsrMatrix, cfg: HutchinsonConfig) -> f64 {
     let mut rng = Xoshiro256pp::new(cfg.seed);
     let mut acc = 0.0;
     for _ in 0..cfg.probes {
-        let z: Vec<f64> = (0..n).map(|_| if rng.bernoulli(0.5) { 1.0 } else { -1.0 }).collect();
+        let z: Vec<f64> = (0..n)
+            .map(|_| if rng.bernoulli(0.5) { 1.0 } else { -1.0 })
+            .collect();
         let mut w = z.clone();
         let mut factorial = 1.0;
         for k in 1..=cfg.series_terms {
@@ -124,7 +132,14 @@ mod tests {
         }
         let s = coo.to_csr();
         // Noise std ≈ sqrt(2·‖S‖_F²)/sqrt(probes) ≈ 0.03 here; 5σ margin.
-        let h = estimate_h(&s, HutchinsonConfig { probes: 256, series_terms: 20, seed: 2 });
+        let h = estimate_h(
+            &s,
+            HutchinsonConfig {
+                probes: 256,
+                series_terms: 20,
+                seed: 2,
+            },
+        );
         assert!(h.abs() < 0.15, "h = {h}");
     }
 
@@ -138,7 +153,11 @@ mod tests {
         // 6400 probes the estimate std is ~0.03 on a signal of ~0.5.
         let est = estimate_h(
             &s,
-            HutchinsonConfig { probes: 6400, series_terms: 30, seed: 7 },
+            HutchinsonConfig {
+                probes: 6400,
+                series_terms: 30,
+                seed: 7,
+            },
         );
         let rel = (est - exact).abs() / exact.abs().max(1e-12);
         assert!(rel < 0.3, "estimate {est} vs exact {exact}");
@@ -153,7 +172,15 @@ mod tests {
             coo.push(i, i, v).unwrap();
         }
         let s = coo.to_csr();
-        let est = trace_power_estimate(&s, 3, HutchinsonConfig { probes: 4, series_terms: 0, seed: 3 });
+        let est = trace_power_estimate(
+            &s,
+            3,
+            HutchinsonConfig {
+                probes: 4,
+                series_terms: 0,
+                seed: 3,
+            },
+        );
         let exact = 1.0 + 8.0 + 0.125 + 27.0;
         assert!((est - exact).abs() < 1e-10, "est {est}");
     }
@@ -162,7 +189,11 @@ mod tests {
     fn h_increases_with_cycle_weight() {
         // Short cycles so the signal (first contributing series term) is
         // large relative to probe noise.
-        let cfg = HutchinsonConfig { probes: 256, series_terms: 25, seed: 11 };
+        let cfg = HutchinsonConfig {
+            probes: 256,
+            series_terms: 25,
+            seed: 11,
+        };
         let weak = estimate_h(&cycle_matrix(2, 0.3), cfg);
         let strong = estimate_h(&cycle_matrix(2, 1.5), cfg);
         assert!(strong > weak, "strong {strong} weak {weak}");

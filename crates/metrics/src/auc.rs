@@ -104,6 +104,7 @@ mod tests {
         w[(0, 1)] = 0.9; // positive, top
         w[(1, 2)] = 0.5; // positive, middle
         w[(2, 0)] = 0.7; // negative above one positive
+
         // Remaining negatives at 0.
         // Pairwise wins: (0,1) beats all 4 negatives; (1,2) beats 3, loses to 0.7.
         // U = 4 + 3 = 7; AUC = 7 / (2*4) = 0.875.

@@ -47,7 +47,12 @@ impl EdgeConfusion {
         }
         let decisions = d * d.saturating_sub(1);
         let tn = decisions - tp - fp - fn_;
-        Self { true_positives: tp, false_positives: fp, false_negatives: fn_, true_negatives: tn }
+        Self {
+            true_positives: tp,
+            false_positives: fp,
+            false_negatives: fn_,
+            true_negatives: tn,
+        }
     }
 
     /// Derived rates, with the 0/0 = 0 convention for degenerate cases.

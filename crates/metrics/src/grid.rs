@@ -24,11 +24,7 @@ pub struct ThresholdSweepPoint {
 }
 
 /// Evaluate `w` against `truth` at a single threshold `tau`.
-pub fn evaluate_at_threshold(
-    truth: &DiGraph,
-    w: &DenseMatrix,
-    tau: f64,
-) -> ThresholdSweepPoint {
+pub fn evaluate_at_threshold(truth: &DiGraph, w: &DenseMatrix, tau: f64) -> ThresholdSweepPoint {
     let predicted = DiGraph::from_dense(w, tau);
     let metrics = EdgeConfusion::between(truth, &predicted).metrics();
     let shd = structural_hamming_distance(truth, &predicted);
@@ -43,8 +39,10 @@ pub fn best_threshold(
     taus: &[f64],
 ) -> (Vec<ThresholdSweepPoint>, usize) {
     assert!(!taus.is_empty(), "threshold grid must be non-empty");
-    let points: Vec<ThresholdSweepPoint> =
-        taus.iter().map(|&tau| evaluate_at_threshold(truth, w, tau)).collect();
+    let points: Vec<ThresholdSweepPoint> = taus
+        .iter()
+        .map(|&tau| evaluate_at_threshold(truth, w, tau))
+        .collect();
     let mut best = 0;
     for (i, p) in points.iter().enumerate().skip(1) {
         let better = p.metrics.f1 > points[best].metrics.f1

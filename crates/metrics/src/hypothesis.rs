@@ -53,7 +53,12 @@ pub fn two_proportion_test(
     n_base: usize,
 ) -> ProportionTest {
     if n_cur == 0 || n_base == 0 {
-        return ProportionTest { z: 0.0, p_value: 1.0, rate_current: 0.0, rate_baseline: 0.0 };
+        return ProportionTest {
+            z: 0.0,
+            p_value: 1.0,
+            rate_current: 0.0,
+            rate_baseline: 0.0,
+        };
     }
     let p1 = hits_cur as f64 / n_cur as f64;
     let p2 = hits_base as f64 / n_base as f64;
@@ -61,10 +66,20 @@ pub fn two_proportion_test(
     let se = (pooled * (1.0 - pooled) * (1.0 / n_cur as f64 + 1.0 / n_base as f64)).sqrt();
     if se == 0.0 {
         // Both windows all-zero or all-one: no evidence of change.
-        return ProportionTest { z: 0.0, p_value: 1.0, rate_current: p1, rate_baseline: p2 };
+        return ProportionTest {
+            z: 0.0,
+            p_value: 1.0,
+            rate_current: p1,
+            rate_baseline: p2,
+        };
     }
     let z = (p1 - p2) / se;
-    ProportionTest { z, p_value: 1.0 - normal_cdf(z), rate_current: p1, rate_baseline: p2 }
+    ProportionTest {
+        z,
+        p_value: 1.0 - normal_cdf(z),
+        rate_current: p1,
+        rate_baseline: p2,
+    }
 }
 
 /// Benjamini–Hochberg step-up procedure: given raw p-values, return a
@@ -81,7 +96,9 @@ pub fn benjamini_hochberg(p_values: &[f64], q: f64) -> Vec<bool> {
     }
     let mut order: Vec<usize> = (0..m).collect();
     order.sort_by(|&a, &b| {
-        p_values[a].partial_cmp(&p_values[b]).expect("p-values must not be NaN")
+        p_values[a]
+            .partial_cmp(&p_values[b])
+            .expect("p-values must not be NaN")
     });
     // Largest k with p_(k) <= k/m * q (1-based k).
     let mut cutoff_rank = None;

@@ -50,12 +50,8 @@ mod tests {
 
     #[test]
     fn zero_on_dags() {
-        let w = DenseMatrix::from_rows(&[
-            &[0.0, 1.3, -0.7],
-            &[0.0, 0.0, 0.9],
-            &[0.0, 0.0, 0.0],
-        ])
-        .unwrap();
+        let w = DenseMatrix::from_rows(&[&[0.0, 1.3, -0.7], &[0.0, 0.0, 0.9], &[0.0, 0.0, 0.0]])
+            .unwrap();
         let h = ExpAcyclicity.value(&w).unwrap();
         assert!(h.abs() < 1e-10, "h = {h}");
     }

@@ -31,7 +31,9 @@ pub enum PolyScale {
 
 impl Default for PolyAcyclicity {
     fn default() -> Self {
-        Self { scale: PolyScale::OneOverD }
+        Self {
+            scale: PolyScale::OneOverD,
+        }
     }
 }
 
@@ -92,12 +94,8 @@ mod tests {
 
     #[test]
     fn zero_on_dags_both_scales() {
-        let w = DenseMatrix::from_rows(&[
-            &[0.0, 1.3, -0.7],
-            &[0.0, 0.0, 0.9],
-            &[0.0, 0.0, 0.0],
-        ])
-        .unwrap();
+        let w = DenseMatrix::from_rows(&[&[0.0, 1.3, -0.7], &[0.0, 0.0, 0.9], &[0.0, 0.0, 0.0]])
+            .unwrap();
         for scale in [PolyScale::OneOverD, PolyScale::One] {
             let g = PolyAcyclicity { scale }.value(&w).unwrap();
             assert!(g.abs() < 1e-9, "{scale:?}: g = {g}");
@@ -139,7 +137,14 @@ mod tests {
             }
         });
         w.zero_diagonal();
-        check_gradient(&PolyAcyclicity { scale: PolyScale::One }, &w, 1e-6, 1e-4);
+        check_gradient(
+            &PolyAcyclicity {
+                scale: PolyScale::One,
+            },
+            &w,
+            1e-6,
+            1e-4,
+        );
     }
 
     #[test]

@@ -31,7 +31,10 @@ pub struct RadiusAcyclicity {
 
 impl Default for RadiusAcyclicity {
     fn default() -> Self {
-        Self { iterations: 25, shift: 1e-6 }
+        Self {
+            iterations: 25,
+            shift: 1e-6,
+        }
     }
 }
 
@@ -112,12 +115,8 @@ mod tests {
 
     #[test]
     fn zero_on_dags() {
-        let w = DenseMatrix::from_rows(&[
-            &[0.0, 1.3, -0.7],
-            &[0.0, 0.0, 0.9],
-            &[0.0, 0.0, 0.0],
-        ])
-        .unwrap();
+        let w = DenseMatrix::from_rows(&[&[0.0, 1.3, -0.7], &[0.0, 0.0, 0.9], &[0.0, 0.0, 0.0]])
+            .unwrap();
         let rho = RadiusAcyclicity::default().value(&w).unwrap();
         assert!(rho < 1e-5, "rho = {rho}");
     }
@@ -126,7 +125,12 @@ mod tests {
     fn recovers_cycle_radius() {
         // 2-cycle with |w| = 1: S has entries 1, rho(S) = 1.
         let w = DenseMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
-        let rho = RadiusAcyclicity { iterations: 60, shift: 0.05 }.value(&w).unwrap();
+        let rho = RadiusAcyclicity {
+            iterations: 60,
+            shift: 0.05,
+        }
+        .value(&w)
+        .unwrap();
         assert!((rho - 1.0).abs() < 1e-3, "rho = {rho}");
     }
 
@@ -153,7 +157,10 @@ mod tests {
         w[(1, 2)] = 0.9;
         w[(2, 0)] = 1.1;
         w[(3, 0)] = 0.4 * rng.next_f64() + 0.3;
-        let c = RadiusAcyclicity { iterations: 80, shift: 0.02 };
+        let c = RadiusAcyclicity {
+            iterations: 80,
+            shift: 0.02,
+        };
         let (_, g) = c.value_and_gradient(&w).unwrap();
         let step = 1e-5;
         for (i, j) in [(0usize, 1usize), (1, 2), (2, 0)] {
@@ -192,7 +199,11 @@ mod tests {
             .unwrap()
             .fit_with_constraint(&Dataset::new(x), &RadiusAcyclicity::default())
             .unwrap();
-        assert!(result.final_constraint < 1e-3, "rho = {}", result.final_constraint);
+        assert!(
+            result.final_constraint < 1e-3,
+            "rho = {}",
+            result.final_constraint
+        );
         assert!(result.graph(0.3).is_dag());
     }
 }

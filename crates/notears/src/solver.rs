@@ -24,7 +24,9 @@ impl Notears {
     /// Create a solver. The `k`/`alpha` fields of the config are ignored
     /// (they parameterize the spectral bound, which NOTEARS does not use).
     pub fn new(config: LeastConfig) -> Result<Self> {
-        Ok(Self { inner: LeastDense::new(config)? })
+        Ok(Self {
+            inner: LeastDense::new(config)?,
+        })
     }
 
     /// Borrow the configuration.
@@ -84,7 +86,11 @@ mod tests {
         let (truth, data) = chain_dataset(5, 600, 601);
         let solver = Notears::new(fast_config()).unwrap();
         let result = solver.fit(&data).unwrap();
-        assert!(result.final_constraint < 1e-4, "h = {}", result.final_constraint);
+        assert!(
+            result.final_constraint < 1e-4,
+            "h = {}",
+            result.final_constraint
+        );
         let (points, best) = best_threshold(&truth, &result.weights, &paper_tau_grid());
         assert!(
             points[best].metrics.f1 > 0.85,
@@ -128,6 +134,10 @@ mod tests {
             .fit_with_constraint(&data, &crate::PolyAcyclicity::default())
             .unwrap();
         let (points, best) = best_threshold(&truth, &result.weights, &paper_tau_grid());
-        assert!(points[best].metrics.f1 > 0.7, "F1 {}", points[best].metrics.f1);
+        assert!(
+            points[best].metrics.f1 > 0.7,
+            "F1 {}",
+            points[best].metrics.f1
+        );
     }
 }

@@ -22,7 +22,12 @@ pub struct AdamConfig {
 
 impl Default for AdamConfig {
     fn default() -> Self {
-        Self { learning_rate: 0.01, beta1: 0.9, beta2: 0.999, epsilon: 1e-8 }
+        Self {
+            learning_rate: 0.01,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+        }
     }
 }
 
@@ -38,7 +43,12 @@ pub struct AdamState {
 impl AdamState {
     /// Fresh state for `len` parameters.
     pub fn new(len: usize, cfg: AdamConfig) -> Self {
-        Self { cfg, m: vec![0.0; len], v: vec![0.0; len], t: 0 }
+        Self {
+            cfg,
+            m: vec![0.0; len],
+            v: vec![0.0; len],
+            t: 0,
+        }
     }
 
     /// Number of tracked parameters.
@@ -61,10 +71,19 @@ impl AdamState {
     /// Panics when `params`/`grad` length diverges from the state — that is
     /// a solver bookkeeping bug, not a runtime condition.
     pub fn step(&mut self, params: &mut [f64], grad: &[f64]) {
-        assert_eq!(params.len(), self.m.len(), "parameter/state length mismatch");
+        assert_eq!(
+            params.len(),
+            self.m.len(),
+            "parameter/state length mismatch"
+        );
         assert_eq!(grad.len(), self.m.len(), "gradient/state length mismatch");
         self.t += 1;
-        let AdamConfig { learning_rate, beta1, beta2, epsilon } = self.cfg;
+        let AdamConfig {
+            learning_rate,
+            beta1,
+            beta2,
+            epsilon,
+        } = self.cfg;
         let bias1 = 1.0 - beta1.powi(self.t as i32);
         let bias2 = 1.0 - beta2.powi(self.t as i32);
         for ((p, &g), (m, v)) in params
@@ -84,7 +103,10 @@ impl AdamState {
     /// the index list returned by `CsrMatrix::retain`/`threshold` — so the
     /// optimizer state stays aligned with a compacted sparse pattern.
     pub fn compact(&mut self, kept_slots: &[u32]) {
-        debug_assert!(kept_slots.windows(2).all(|w| w[0] < w[1]), "slots must be sorted unique");
+        debug_assert!(
+            kept_slots.windows(2).all(|w| w[0] < w[1]),
+            "slots must be sorted unique"
+        );
         let mut write = 0usize;
         for &slot in kept_slots {
             let slot = slot as usize;
@@ -112,7 +134,13 @@ mod tests {
     #[test]
     fn minimizes_quadratic() {
         // f(x) = (x - 3)², gradient 2(x - 3).
-        let mut state = AdamState::new(1, AdamConfig { learning_rate: 0.1, ..Default::default() });
+        let mut state = AdamState::new(
+            1,
+            AdamConfig {
+                learning_rate: 0.1,
+                ..Default::default()
+            },
+        );
         let mut x = [0.0];
         for _ in 0..500 {
             let g = [2.0 * (x[0] - 3.0)];
@@ -127,7 +155,13 @@ mod tests {
         // per-coordinate scaling should still converge on all of them.
         let targets = [1.0, -2.0, 0.5, 10.0];
         let curv = [100.0, 1.0, 0.01, 5.0];
-        let mut state = AdamState::new(4, AdamConfig { learning_rate: 0.05, ..Default::default() });
+        let mut state = AdamState::new(
+            4,
+            AdamConfig {
+                learning_rate: 0.05,
+                ..Default::default()
+            },
+        );
         let mut x = [0.0; 4];
         for _ in 0..5000 {
             let g: Vec<f64> = x
@@ -146,7 +180,13 @@ mod tests {
     #[test]
     fn first_step_magnitude_is_learning_rate() {
         // With bias correction the very first Adam step is ≈ lr·sign(g).
-        let mut state = AdamState::new(1, AdamConfig { learning_rate: 0.01, ..Default::default() });
+        let mut state = AdamState::new(
+            1,
+            AdamConfig {
+                learning_rate: 0.01,
+                ..Default::default()
+            },
+        );
         let mut x = [0.0];
         state.step(&mut x, &[42.0]);
         assert!((x[0] + 0.01).abs() < 1e-6, "x = {}", x[0]);

@@ -58,7 +58,12 @@ pub struct AugLagState {
 impl AugLagState {
     /// Initialize from a config.
     pub fn new(cfg: AugLagConfig) -> Self {
-        Self { cfg, rho: cfg.rho_init, eta: cfg.eta_init, round: 0 }
+        Self {
+            cfg,
+            rho: cfg.rho_init,
+            eta: cfg.eta_init,
+            round: 0,
+        }
     }
 
     /// Penalty terms `(ρ/2)c² + ηc` for the current state.
@@ -101,7 +106,11 @@ mod tests {
 
     #[test]
     fn penalty_values() {
-        let st = AugLagState::new(AugLagConfig { rho_init: 2.0, eta_init: 3.0, ..Default::default() });
+        let st = AugLagState::new(AugLagConfig {
+            rho_init: 2.0,
+            eta_init: 3.0,
+            ..Default::default()
+        });
         // (2/2)·4 + 3·2 = 10
         assert_eq!(st.penalty(2.0), 10.0);
         assert_eq!(st.penalty_grad_coeff(2.0), 7.0);
@@ -120,7 +129,10 @@ mod tests {
 
     #[test]
     fn advance_stops_on_convergence() {
-        let mut st = AugLagState::new(AugLagConfig { tolerance: 1e-4, ..Default::default() });
+        let mut st = AugLagState::new(AugLagConfig {
+            tolerance: 1e-4,
+            ..Default::default()
+        });
         assert!(!st.advance(1e-5));
         // eta/rho untouched on the converged exit.
         assert_eq!(st.eta, 1.0);
@@ -129,7 +141,10 @@ mod tests {
 
     #[test]
     fn advance_stops_on_budget() {
-        let mut st = AugLagState::new(AugLagConfig { max_outer: 2, ..Default::default() });
+        let mut st = AugLagState::new(AugLagConfig {
+            max_outer: 2,
+            ..Default::default()
+        });
         assert!(st.advance(1.0));
         assert!(!st.advance(1.0));
         assert_eq!(st.round, 2);
@@ -137,8 +152,11 @@ mod tests {
 
     #[test]
     fn rho_is_capped() {
-        let mut st =
-            AugLagState::new(AugLagConfig { rho_max: 50.0, rho_growth: 10.0, ..Default::default() });
+        let mut st = AugLagState::new(AugLagConfig {
+            rho_max: 50.0,
+            rho_growth: 10.0,
+            ..Default::default()
+        });
         st.advance(1.0);
         st.advance(1.0);
         st.advance(1.0);

@@ -29,7 +29,11 @@ fn main() {
 
     // Quiet baseline window.
     let baseline = sim.window(8000, &[]);
-    let base_errors = baseline.records.iter().filter(|r| r.failed_step.is_some()).count();
+    let base_errors = baseline
+        .records
+        .iter()
+        .filter(|r| r.failed_step.is_some())
+        .count();
     println!("baseline window: 8000 bookings, {base_errors} errors");
 
     // Incident window: airline SL fails step 3 through two fare sources.
@@ -43,7 +47,11 @@ fn main() {
         error_rate: 0.55,
     };
     let current = sim.window(8000, std::slice::from_ref(&incident));
-    let cur_errors = current.records.iter().filter(|r| r.failed_step.is_some()).count();
+    let cur_errors = current
+        .records
+        .iter()
+        .filter(|r| r.failed_step.is_some())
+        .count();
     println!("incident window: 8000 bookings, {cur_errors} errors");
 
     // Detect.
@@ -60,7 +68,9 @@ fn main() {
         );
     }
     assert!(
-        reports.iter().any(|r| r.step == 2 && r.description.contains("Airline-SL")),
+        reports
+            .iter()
+            .any(|r| r.step == 2 && r.description.contains("Airline-SL")),
         "the injected root cause should be reported"
     );
     println!("\ninjected root cause (Airline-SL, step 3) correctly identified ✓");

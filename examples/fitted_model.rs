@@ -21,15 +21,17 @@ fn main() {
     // Hidden truth and training data.
     let truth = erdos_renyi_dag(15, 2, &mut rng);
     let w = weighted_adjacency_dense(&truth, WeightRange { lo: 0.8, hi: 1.6 }, &mut rng);
-    let train = Dataset::new(
-        sample_lsem(&w, 1000, NoiseModel::standard_gaussian(), &mut rng).unwrap(),
-    );
-    let held_out = Dataset::new(
-        sample_lsem(&w, 1000, NoiseModel::standard_gaussian(), &mut rng).unwrap(),
-    );
+    let train =
+        Dataset::new(sample_lsem(&w, 1000, NoiseModel::standard_gaussian(), &mut rng).unwrap());
+    let held_out =
+        Dataset::new(sample_lsem(&w, 1000, NoiseModel::standard_gaussian(), &mut rng).unwrap());
 
     // 1. Structure learning.
-    let mut cfg = LeastConfig { seed, max_inner: 400, ..Default::default() };
+    let mut cfg = LeastConfig {
+        seed,
+        max_inner: 400,
+        ..Default::default()
+    };
     cfg.adam.learning_rate = 0.02;
     let learned = LeastDense::new(cfg).unwrap().fit(&train).unwrap();
     let structure = learned.graph(0.3);
@@ -47,7 +49,10 @@ fn main() {
     let ll_model = model.mean_log_likelihood(&held_out);
     let ll_baseline = baseline.mean_log_likelihood(&held_out);
     println!("held-out mean log-likelihood: learned {ll_model:.3} vs empty {ll_baseline:.3}");
-    assert!(ll_model > ll_baseline, "structure must add predictive value");
+    assert!(
+        ll_model > ll_baseline,
+        "structure must add predictive value"
+    );
 
     // 4. Generate synthetic data from the fitted BN.
     let synthetic = model.sample(5, &mut rng);
@@ -56,5 +61,8 @@ fn main() {
         let head: Vec<String> = row.iter().take(6).map(|v| format!("{v:6.2}")).collect();
         println!("  [{}]", head.join(", "));
     }
-    println!("\nstructure adds {:.3} nats/sample over the independent model ✓", ll_model - ll_baseline);
+    println!(
+        "\nstructure adds {:.3} nats/sample over the independent model ✓",
+        ll_model - ll_baseline
+    );
 }

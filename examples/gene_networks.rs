@@ -19,7 +19,12 @@ fn main() {
     // --- Sachs: the classic 11-protein signalling network. ---
     let truth = sachs_network();
     println!("Sachs consensus network: {:?}", SACHS_GENES);
-    println!("{} nodes, {} edges, DAG: {}", truth.node_count(), truth.edge_count(), truth.is_dag());
+    println!(
+        "{} nodes, {} edges, DAG: {}",
+        truth.node_count(),
+        truth.edge_count(),
+        truth.is_dag()
+    );
 
     let mut rng = Xoshiro256pp::new(1005);
     let w = weighted_adjacency_sparse(&truth, WeightRange { lo: 0.8, hi: 1.5 }, &mut rng);
@@ -36,8 +41,8 @@ fn main() {
         ..Default::default()
     };
     config.adam.learning_rate = 0.02;
-    let result = run_gene_experiment(&truth, &data, GeneSolver::LeastDense, config)
-        .expect("experiment");
+    let result =
+        run_gene_experiment(&truth, &data, GeneSolver::LeastDense, config).expect("experiment");
     println!(
         "\nLEAST on Sachs (n=1000): predicted={} TP={} FDR={:.3} TPR={:.3} SHD={} F1={:.3} AUC={:.3} ({:.1}s)",
         result.metrics.predicted_edges,

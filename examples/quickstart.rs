@@ -20,7 +20,11 @@ fn main() {
     // 1. A hidden ground-truth causal structure: 30 variables, ER-2 DAG.
     let truth = erdos_renyi_dag(30, 2, &mut rng);
     let weights = weighted_adjacency_dense(&truth, WeightRange::default(), &mut rng);
-    println!("ground truth: {} nodes, {} edges", truth.node_count(), truth.edge_count());
+    println!(
+        "ground truth: {} nodes, {} edges",
+        truth.node_count(),
+        truth.edge_count()
+    );
 
     // 2. Observational data: 300 i.i.d. samples of the linear SEM.
     let x = sample_lsem(&weights, 300, NoiseModel::standard_gaussian(), &mut rng)
@@ -28,7 +32,11 @@ fn main() {
     let data = Dataset::new(x);
 
     // 3. Structure learning with LEAST (spectral-bound acyclicity).
-    let mut config = LeastConfig { seed, max_inner: 400, ..Default::default() };
+    let mut config = LeastConfig {
+        seed,
+        max_inner: 400,
+        ..Default::default()
+    };
     config.adam.learning_rate = 0.02;
     let solver = LeastDense::new(config).expect("valid config");
     let result = solver.fit(&data).expect("fit");
@@ -48,6 +56,9 @@ fn main() {
         chosen.metrics.f1,
         structural_hamming_distance(&truth, &learned),
     );
-    assert!(learned.is_dag(), "LEAST must return a DAG after thresholding");
+    assert!(
+        learned.is_dag(),
+        "LEAST must return a DAG after thresholding"
+    );
     println!("learned graph is a DAG ✓");
 }

@@ -13,12 +13,18 @@ use least_bn::linalg::{CsrMatrix, Xoshiro256pp};
 fn main() {
     let seed = 3001;
     let catalog = Catalog::generate(300, &mut Xoshiro256pp::new(seed));
-    println!("catalog: {} movies (8 franchises, 4 blockbusters, 4 niche films)", catalog.len());
+    println!(
+        "catalog: {} movies (8 franchises, 4 blockbusters, 4 niche films)",
+        catalog.len()
+    );
 
     let data = RatingsSimulator::default()
         .dataset(&catalog, 2500, seed ^ 1)
         .expect("ratings generation");
-    println!("ratings: {} users, mean-centered per user (paper preprocessing)", data.num_samples());
+    println!(
+        "ratings: {} users, mean-centered per user (paper preprocessing)",
+        data.num_samples()
+    );
 
     let mut config = LeastConfig {
         lambda: 0.02,
@@ -29,7 +35,10 @@ fn main() {
         ..Default::default()
     };
     config.adam.learning_rate = 0.02;
-    let result = LeastDense::new(config).expect("config").fit(&data).expect("fit");
+    let result = LeastDense::new(config)
+        .expect("config")
+        .fit(&data)
+        .expect("fit");
     println!(
         "learned item graph: constraint={:.1e} after {} rounds",
         result.final_constraint, result.rounds
@@ -38,7 +47,10 @@ fn main() {
     let learned = CsrMatrix::from_dense(&result.weights, 0.05);
     println!("\nTop-10 learned edges (compare the paper's Table IV):");
     for row in top_edges(&catalog, &learned, 10) {
-        println!("  {:<48} -> {:<48} {:+.3}  [{}]", row.from, row.to, row.weight, row.remark);
+        println!(
+            "  {:<48} -> {:<48} {:+.3}  [{}]",
+            row.from, row.to, row.weight, row.remark
+        );
     }
 
     println!("\nHighest in-degree movies (the 'blockbuster' phenomenon):");

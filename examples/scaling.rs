@@ -24,8 +24,7 @@ fn main() {
     let t0 = Instant::now();
     let truth = erdos_renyi_dag(d, 2, &mut rng);
     let w = weighted_adjacency_sparse(&truth, WeightRange::default(), &mut rng);
-    let x = sample_lsem_sparse(&w, n, NoiseModel::standard_gaussian(), &mut rng)
-        .expect("sampling");
+    let x = sample_lsem_sparse(&w, n, NoiseModel::standard_gaussian(), &mut rng).expect("sampling");
     let data = Dataset::new(x);
     println!(
         "generated: d={d} nodes, {} true edges, n={n} samples ({:.1}s)",

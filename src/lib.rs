@@ -1,8 +1,10 @@
 //! # least-bn — facade crate
 //!
 //! Re-exports the full public API of the LEAST reproduction workspace.
-//! See the [README](https://github.com/example/least-bn) for the project
-//! overview and `DESIGN.md` for the system inventory.
+//! See `README.md` at the repository root for the project overview and
+//! `DESIGN.md` for the system inventory (workspace layout, the unified
+//! solver engine and its `WeightBackend` seam, the `parallel` feature,
+//! and documented deviations from the paper's pseudocode).
 //!
 //! ## End-to-end example
 //!

@@ -118,8 +118,9 @@ fn sparse_csr_and_dense_bound_agree_on_solver_output() {
     let result = LeastDense::new(config(8500)).unwrap().fit(&data).unwrap();
     let bound = SpectralBound::default();
     let dense_val = bound.value_dense(&result.weights).unwrap();
-    let sparse_val =
-        bound.value_sparse(&CsrMatrix::from_dense(&result.weights, 0.0)).unwrap();
+    let sparse_val = bound
+        .value_sparse(&CsrMatrix::from_dense(&result.weights, 0.0))
+        .unwrap();
     assert!((dense_val - sparse_val).abs() <= 1e-9 * dense_val.max(1.0));
 }
 

@@ -1,5 +1,7 @@
-//! Property-based tests (proptest) on the core invariants of the
-//! reproduction:
+//! Property-based tests on the core invariants of the reproduction,
+//! driven by the in-tree deterministic RNG (the offline crate set has no
+//! `proptest`; each property runs over 64 randomized cases instead of
+//! strategy-shrunk ones):
 //!
 //! * Lemma 1 — the spectral bound dominates the true spectral radius for
 //!   arbitrary weight matrices, at every refinement depth;
@@ -8,71 +10,97 @@
 //! * CSR round-trips, transpose involution, and threshold/retain
 //!   bookkeeping under arbitrary sparsity patterns;
 //! * SHD metric axioms (identity, symmetry) and confusion-count
-//!   consistency on random graph pairs;
-//! * LSEM sampling respects topological structure (roots are pure noise).
+//!   consistency on random graph pairs.
 
 use least_bn::core::{grad, Acyclicity, SpectralBound};
 use least_bn::graph::DiGraph;
 use least_bn::linalg::power_iter::{spectral_radius_dense, PowerIterConfig};
-use least_bn::linalg::{Coo, CsrMatrix, DenseMatrix};
+use least_bn::linalg::{Coo, CsrMatrix, DenseMatrix, Xoshiro256pp};
 use least_bn::metrics::{structural_hamming_distance, EdgeConfusion};
-use proptest::prelude::*;
 
-/// Strategy: a small square weight matrix with controlled magnitude and
-/// zero diagonal (valid solver input).
-fn weight_matrix(max_d: usize) -> impl Strategy<Value = DenseMatrix> {
-    (2..=max_d).prop_flat_map(|d| {
-        proptest::collection::vec(
-            prop_oneof![3 => Just(0.0), 2 => -1.5f64..1.5f64],
-            d * d,
-        )
-        .prop_map(move |mut v| {
-            for i in 0..d {
-                v[i * d + i] = 0.0;
-            }
-            DenseMatrix::from_vec(d, d, v).expect("matched length")
-        })
-    })
+const CASES: usize = 64;
+
+/// Random square weight matrix with controlled magnitude, ~40% density and
+/// zero diagonal (valid solver input). Dimension in `2..=max_d`.
+fn weight_matrix(max_d: usize, rng: &mut Xoshiro256pp) -> DenseMatrix {
+    let d = 2 + rng.next_below(max_d - 1);
+    let mut w = DenseMatrix::from_fn(d, d, |_, _| {
+        if rng.bernoulli(0.4) {
+            rng.uniform(-1.5, 1.5)
+        } else {
+            0.0
+        }
+    });
+    w.zero_diagonal();
+    w
 }
 
-/// Strategy: a random sparse triplet list over a d×d matrix.
-fn sparse_entries(d: usize) -> impl Strategy<Value = Vec<(usize, usize, f64)>> {
-    proptest::collection::vec(
-        ((0..d), (0..d), -2.0f64..2.0f64).prop_map(|(i, j, v)| (i, j, v)),
-        0..3 * d,
-    )
+/// Random sparse triplet list over a d×d matrix (duplicates allowed, as
+/// with the proptest strategy this replaces — `Coo` accumulates them).
+fn sparse_entries(d: usize, rng: &mut Xoshiro256pp) -> Vec<(usize, usize, f64)> {
+    let len = rng.next_below(3 * d);
+    (0..len)
+        .map(|_| (rng.next_below(d), rng.next_below(d), rng.uniform(-2.0, 2.0)))
+        .collect()
 }
 
-/// Strategy: a random edge list on `d` nodes.
-fn edge_list(d: usize) -> impl Strategy<Value = Vec<(usize, usize)>> {
-    proptest::collection::vec(((0..d), (0..d)).prop_filter("no self loops", |(u, v)| u != v), 0..3 * d)
+/// Random edge list on `d` nodes, self-loops excluded.
+fn edge_list(d: usize, rng: &mut Xoshiro256pp) -> Vec<(usize, usize)> {
+    let len = rng.next_below(3 * d);
+    let mut edges = Vec::with_capacity(len);
+    while edges.len() < len {
+        let (u, v) = (rng.next_below(d), rng.next_below(d));
+        if u != v {
+            edges.push((u, v));
+        }
+    }
+    edges
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn csr_from_entries(d: usize, entries: &[(usize, usize, f64)]) -> CsrMatrix {
+    let mut coo = Coo::new(d, d);
+    for &(i, j, v) in entries {
+        coo.push(i, j, v).unwrap();
+    }
+    coo.to_csr()
+}
 
-    #[test]
-    fn bound_dominates_spectral_radius(w in weight_matrix(10), k in 0usize..7) {
+#[test]
+fn bound_dominates_spectral_radius() {
+    let mut rng = Xoshiro256pp::new(0x50BD);
+    for case in 0..CASES {
+        let w = weight_matrix(10, &mut rng);
+        let k = rng.next_below(7);
         let s = w.hadamard_square();
         let rho = spectral_radius_dense(&s, PowerIterConfig::default()).value;
         let bound = SpectralBound::new(k, 0.9).unwrap().value_dense(&w).unwrap();
-        prop_assert!(bound >= rho - 1e-8 * rho.max(1.0),
-            "k={k}: bound {bound} < radius {rho}");
+        assert!(
+            bound >= rho - 1e-8 * rho.max(1.0),
+            "case {case}, k={k}: bound {bound} < radius {rho}"
+        );
     }
+}
 
-    #[test]
-    fn bound_is_zero_only_near_acyclicity(w in weight_matrix(8)) {
-        // If the bound is (near) zero, the matrix cannot hold a strong cycle:
-        // the true radius is also (near) zero.
+#[test]
+fn bound_is_zero_only_near_acyclicity() {
+    let mut rng = Xoshiro256pp::new(0x50BE);
+    for case in 0..CASES {
+        // If the bound is (near) zero, the matrix cannot hold a strong
+        // cycle: the true radius is also (near) zero.
+        let w = weight_matrix(8, &mut rng);
         let bound = SpectralBound::default().value_dense(&w).unwrap();
         if bound < 1e-10 {
             let rho = spectral_radius_dense(&w.hadamard_square(), PowerIterConfig::default()).value;
-            prop_assert!(rho < 1e-9, "bound {bound} but radius {rho}");
+            assert!(rho < 1e-9, "case {case}: bound {bound} but radius {rho}");
         }
     }
+}
 
-    #[test]
-    fn gradient_matches_finite_differences(w in weight_matrix(6)) {
+#[test]
+fn gradient_matches_finite_differences() {
+    let mut rng = Xoshiro256pp::new(0x50BF);
+    for case in 0..CASES {
+        let w = weight_matrix(6, &mut rng);
         let bound = SpectralBound::new(3, 0.8).unwrap();
         let (_, g) = bound.value_and_gradient(&w).unwrap();
         // Spot-check a handful of coordinates (full FD is O(d^2) evals).
@@ -83,117 +111,125 @@ proptest! {
             plus[(i, j)] += step;
             let mut minus = w.clone();
             minus[(i, j)] -= step;
-            let numeric = (bound.value_dense(&plus).unwrap()
-                - bound.value_dense(&minus).unwrap())
+            let numeric = (bound.value_dense(&plus).unwrap() - bound.value_dense(&minus).unwrap())
                 / (2.0 * step);
-            prop_assert!(
+            assert!(
                 (g[(i, j)] - numeric).abs() < 1e-4 * (1.0 + numeric.abs()),
-                "({i},{j}): analytic {} vs numeric {numeric}", g[(i, j)]
+                "case {case} ({i},{j}): analytic {} vs numeric {numeric}",
+                g[(i, j)]
             );
         }
     }
+}
 
-    #[test]
-    fn sparse_gradient_matches_dense(entries in sparse_entries(12)) {
-        let mut coo = Coo::new(12, 12);
-        for (i, j, v) in entries {
-            if i != j {
-                coo.push(i, j, v).unwrap();
-            }
-        }
-        let ws = coo.to_csr();
+#[test]
+fn sparse_gradient_matches_dense() {
+    let mut rng = Xoshiro256pp::new(0x50C0);
+    for case in 0..CASES {
+        let entries: Vec<_> = sparse_entries(12, &mut rng)
+            .into_iter()
+            .filter(|&(i, j, _)| i != j)
+            .collect();
+        let ws = csr_from_entries(12, &entries);
         let wd = ws.to_dense();
         let bound = SpectralBound::default();
         let fwd_s = bound.forward_sparse(&ws).unwrap();
         let gs = grad::backward_sparse(&fwd_s, &ws);
         let fwd_d = bound.forward_dense(&wd).unwrap();
         let gd = grad::backward_dense(&fwd_d, &wd);
-        prop_assert!((fwd_s.delta - fwd_d.delta).abs() <= 1e-10 * fwd_d.delta.max(1.0));
+        assert!((fwd_s.delta - fwd_d.delta).abs() <= 1e-10 * fwd_d.delta.max(1.0));
         for ((i, j, _), &gsv) in ws.iter().zip(&gs) {
-            prop_assert!((gd[(i, j)] - gsv).abs() < 1e-8 * (1.0 + gd[(i, j)].abs()),
-                "({i},{j}) dense {} sparse {gsv}", gd[(i, j)]);
+            assert!(
+                (gd[(i, j)] - gsv).abs() < 1e-8 * (1.0 + gd[(i, j)].abs()),
+                "case {case} ({i},{j}) dense {} sparse {gsv}",
+                gd[(i, j)]
+            );
         }
     }
+}
 
-    #[test]
-    fn csr_round_trip(entries in sparse_entries(15)) {
-        let mut coo = Coo::new(15, 15);
-        for (i, j, v) in &entries {
-            coo.push(*i, *j, *v).unwrap();
-        }
-        let csr = coo.to_csr();
+#[test]
+fn csr_round_trip() {
+    let mut rng = Xoshiro256pp::new(0x50C1);
+    for _ in 0..CASES {
+        let csr = csr_from_entries(15, &sparse_entries(15, &mut rng));
         let back = CsrMatrix::from_dense(&csr.to_dense(), 0.0);
-        prop_assert!(csr.approx_eq(&back, 0.0));
+        assert!(csr.approx_eq(&back, 0.0));
         // Values and pattern arrays stay aligned.
-        prop_assert_eq!(csr.values().len(), csr.col_indices().len());
-        prop_assert_eq!(csr.nnz(), csr.iter().count());
+        assert_eq!(csr.values().len(), csr.col_indices().len());
+        assert_eq!(csr.nnz(), csr.iter().count());
     }
+}
 
-    #[test]
-    fn csr_transpose_involution(entries in sparse_entries(10)) {
-        let mut coo = Coo::new(10, 10);
-        for (i, j, v) in entries {
-            coo.push(i, j, v).unwrap();
-        }
-        let csr = coo.to_csr();
-        prop_assert!(csr.transpose().transpose().approx_eq(&csr, 0.0));
+#[test]
+fn csr_transpose_involution() {
+    let mut rng = Xoshiro256pp::new(0x50C2);
+    for _ in 0..CASES {
+        let csr = csr_from_entries(10, &sparse_entries(10, &mut rng));
+        assert!(csr.transpose().transpose().approx_eq(&csr, 0.0));
         // Row sums of the transpose equal column sums of the original.
-        prop_assert_eq!(csr.transpose().row_sums(), csr.col_sums());
+        assert_eq!(csr.transpose().row_sums(), csr.col_sums());
     }
+}
 
-    #[test]
-    fn csr_threshold_removes_exactly_small_entries(
-        entries in sparse_entries(10),
-        theta in 0.1f64..1.0,
-    ) {
-        let mut coo = Coo::new(10, 10);
-        for (i, j, v) in entries {
-            coo.push(i, j, v).unwrap();
-        }
-        let mut csr = coo.to_csr();
+#[test]
+fn csr_threshold_removes_exactly_small_entries() {
+    let mut rng = Xoshiro256pp::new(0x50C3);
+    for _ in 0..CASES {
+        let mut csr = csr_from_entries(10, &sparse_entries(10, &mut rng));
+        let theta = rng.uniform(0.1, 1.0);
         let before: Vec<(usize, usize, f64)> = csr.iter().collect();
         let kept = csr.threshold(theta);
-        prop_assert_eq!(kept.len(), csr.nnz());
+        assert_eq!(kept.len(), csr.nnz());
         for (i, j, v) in before {
             if v.abs() >= theta {
-                prop_assert_eq!(csr.get(i, j), v);
+                assert_eq!(csr.get(i, j), v);
             } else {
-                prop_assert_eq!(csr.get(i, j), 0.0);
+                assert_eq!(csr.get(i, j), 0.0);
             }
         }
     }
+}
 
-    #[test]
-    fn shd_axioms(edges_a in edge_list(8), edges_b in edge_list(8)) {
-        let a = DiGraph::from_edges(8, &edges_a);
-        let b = DiGraph::from_edges(8, &edges_b);
-        prop_assert_eq!(structural_hamming_distance(&a, &a), 0);
-        prop_assert_eq!(
+#[test]
+fn shd_axioms() {
+    let mut rng = Xoshiro256pp::new(0x50C4);
+    for _ in 0..CASES {
+        let a = DiGraph::from_edges(8, &edge_list(8, &mut rng));
+        let b = DiGraph::from_edges(8, &edge_list(8, &mut rng));
+        assert_eq!(structural_hamming_distance(&a, &a), 0);
+        assert_eq!(
             structural_hamming_distance(&a, &b),
             structural_hamming_distance(&b, &a)
         );
     }
+}
 
-    #[test]
-    fn confusion_counts_partition_decisions(edges_a in edge_list(8), edges_b in edge_list(8)) {
-        let truth = DiGraph::from_edges(8, &edges_a);
-        let pred = DiGraph::from_edges(8, &edges_b);
+#[test]
+fn confusion_counts_partition_decisions() {
+    let mut rng = Xoshiro256pp::new(0x50C5);
+    for _ in 0..CASES {
+        let truth = DiGraph::from_edges(8, &edge_list(8, &mut rng));
+        let pred = DiGraph::from_edges(8, &edge_list(8, &mut rng));
         let c = EdgeConfusion::between(&truth, &pred);
         // TP+FP = predicted edges; TP+FN = truth edges; all four sum to
         // the number of ordered off-diagonal pairs.
-        prop_assert_eq!(c.true_positives + c.false_positives, pred.edge_count());
-        prop_assert_eq!(c.true_positives + c.false_negatives, truth.edge_count());
-        prop_assert_eq!(
+        assert_eq!(c.true_positives + c.false_positives, pred.edge_count());
+        assert_eq!(c.true_positives + c.false_negatives, truth.edge_count());
+        assert_eq!(
             c.true_positives + c.false_positives + c.false_negatives + c.true_negatives,
             8 * 7
         );
     }
+}
 
-    #[test]
-    fn shd_bounded_by_union_of_edges(edges_a in edge_list(8), edges_b in edge_list(8)) {
-        let a = DiGraph::from_edges(8, &edges_a);
-        let b = DiGraph::from_edges(8, &edges_b);
+#[test]
+fn shd_bounded_by_union_of_edges() {
+    let mut rng = Xoshiro256pp::new(0x50C6);
+    for _ in 0..CASES {
+        let a = DiGraph::from_edges(8, &edge_list(8, &mut rng));
+        let b = DiGraph::from_edges(8, &edge_list(8, &mut rng));
         let shd = structural_hamming_distance(&a, &b);
-        prop_assert!(shd <= a.edge_count() + b.edge_count());
+        assert!(shd <= a.edge_count() + b.edge_count());
     }
 }

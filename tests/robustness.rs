@@ -8,7 +8,11 @@ use least_bn::graph::DiGraph;
 use least_bn::linalg::{CsrMatrix, DenseMatrix, Xoshiro256pp};
 
 fn tiny_config() -> LeastConfig {
-    LeastConfig { max_outer: 2, max_inner: 20, ..Default::default() }
+    LeastConfig {
+        max_outer: 2,
+        max_inner: 20,
+        ..Default::default()
+    }
 }
 
 #[test]
@@ -16,14 +20,20 @@ fn constant_columns_do_not_produce_nans() {
     // All-constant data: gradients are zero; the solver should simply
     // shrink W to (near) zero without NaN.
     let x = DenseMatrix::from_fn(50, 5, |_, _| 3.5);
-    let result = LeastDense::new(tiny_config()).unwrap().fit(&Dataset::new(x)).unwrap();
+    let result = LeastDense::new(tiny_config())
+        .unwrap()
+        .fit(&Dataset::new(x))
+        .unwrap();
     assert!(result.weights.as_slice().iter().all(|v| v.is_finite()));
 }
 
 #[test]
 fn single_sample_runs() {
     let x = DenseMatrix::from_fn(1, 4, |_, j| j as f64);
-    let result = LeastDense::new(tiny_config()).unwrap().fit(&Dataset::new(x)).unwrap();
+    let result = LeastDense::new(tiny_config())
+        .unwrap()
+        .fit(&Dataset::new(x))
+        .unwrap();
     assert!(result.weights.as_slice().iter().all(|v| v.is_finite()));
 }
 
@@ -31,7 +41,10 @@ fn single_sample_runs() {
 fn two_variable_dataset_runs() {
     let mut rng = Xoshiro256pp::new(21);
     let x = DenseMatrix::from_fn(100, 2, |_, _| rng.gaussian());
-    let result = LeastDense::new(tiny_config()).unwrap().fit(&Dataset::new(x)).unwrap();
+    let result = LeastDense::new(tiny_config())
+        .unwrap()
+        .fit(&Dataset::new(x))
+        .unwrap();
     assert_eq!(result.weights.shape(), (2, 2));
 }
 
@@ -68,7 +81,10 @@ fn sparse_solver_survives_total_thresholding() {
         batch_size: Some(32),
         ..tiny_config()
     };
-    let result = LeastSparse::new(cfg).unwrap().fit(&Dataset::new(x)).unwrap();
+    let result = LeastSparse::new(cfg)
+        .unwrap()
+        .fit(&Dataset::new(x))
+        .unwrap();
     assert_eq!(result.weights.nnz(), 0);
     assert_eq!(result.final_constraint, 0.0);
 }
@@ -95,10 +111,26 @@ fn csr_empty_matrix_operations() {
 
 #[test]
 fn solver_rejects_degenerate_budgets() {
-    assert!(LeastDense::new(LeastConfig { max_outer: 0, ..Default::default() }).is_err());
-    assert!(LeastDense::new(LeastConfig { max_inner: 0, ..Default::default() }).is_err());
-    assert!(LeastDense::new(LeastConfig { alpha: -0.5, ..Default::default() }).is_err());
-    assert!(LeastDense::new(LeastConfig { alpha: 2.0, ..Default::default() }).is_err());
+    assert!(LeastDense::new(LeastConfig {
+        max_outer: 0,
+        ..Default::default()
+    })
+    .is_err());
+    assert!(LeastDense::new(LeastConfig {
+        max_inner: 0,
+        ..Default::default()
+    })
+    .is_err());
+    assert!(LeastDense::new(LeastConfig {
+        alpha: -0.5,
+        ..Default::default()
+    })
+    .is_err());
+    assert!(LeastDense::new(LeastConfig {
+        alpha: 2.0,
+        ..Default::default()
+    })
+    .is_err());
 }
 
 #[test]
@@ -129,6 +161,9 @@ fn heavily_correlated_duplicate_columns_stay_finite() {
             (i as f64).sin() * 0.0 + 2.0
         }
     });
-    let result = LeastDense::new(tiny_config()).unwrap().fit(&Dataset::new(x)).unwrap();
+    let result = LeastDense::new(tiny_config())
+        .unwrap()
+        .fit(&Dataset::new(x))
+        .unwrap();
     assert!(result.weights.as_slice().iter().all(|v| v.is_finite()));
 }
