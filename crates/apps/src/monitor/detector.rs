@@ -10,11 +10,12 @@
 //! pinpointing the root cause".
 
 use crate::monitor::simulator::{BookingLog, BookingRecord, BookingSchema, NUM_STEPS};
-use least_core::{LeastConfig, LeastDense};
+use least_core::{FittedSem, LeastConfig, LeastDense};
 use least_data::Dataset;
 use least_graph::DiGraph;
 use least_linalg::{DenseMatrix, Result};
 use least_metrics::{hypothesis::benjamini_hochberg, two_proportion_test};
+use least_serve::{ModelArtifact, QueryEngine, ServeError};
 
 /// Detector configuration.
 #[derive(Debug, Clone)]
@@ -115,6 +116,67 @@ impl WindowDetector {
         let solver = LeastDense::new(self.config.least)?;
         let learned = solver.fit(&data)?;
         Ok(learned.graph(self.config.tau))
+    }
+
+    /// Learn the window's BN and package it as a servable model artifact:
+    /// structure from the dense LEAST solver, parameters from per-node OLS
+    /// on the same (centered) window. This is the write path of the
+    /// `--serve`-backed monitor: each window's model is uploaded to a
+    /// `least-serve` server, and on-call engineers issue root-cause
+    /// queries against it without rerunning the learner.
+    pub fn learn_model(&self, log: &BookingLog) -> std::result::Result<ModelArtifact, ServeError> {
+        let raw = Dataset::new(self.encode(log));
+        let mut centered = Dataset::new(raw.matrix().clone());
+        centered.center_columns();
+        let solver = LeastDense::new(self.config.least).map_err(ServeError::Linalg)?;
+        let learned = solver.fit(&centered).map_err(ServeError::Linalg)?;
+        let structure = learned.graph(self.config.tau);
+        // Parameters come from the *uncentered* window: OLS with an
+        // intercept column yields the same slopes either way, but only
+        // raw-coordinate intercepts make served queries (evidence in
+        // 0/1 one-hot units, marginal error rates) mean what an
+        // operator expects.
+        let sem = FittedSem::fit(&structure, &raw).map_err(ServeError::Linalg)?;
+        ModelArtifact::from_fitted(
+            &sem,
+            self.config.tau,
+            &format!(
+                "monitor window: least-dense λ={} τ={} d={}",
+                self.config.least.lambda,
+                self.config.tau,
+                self.schema.num_nodes()
+            ),
+        )
+    }
+
+    /// Root-cause candidates for an error step, answered by a served
+    /// query engine instead of a fresh path enumeration: every non-error
+    /// node in the error node's Markov blanket or ancestor closure, each
+    /// expanded to its full attribute group (one-hot collinearity can
+    /// hang the learned edge on a sibling value of the true culprit —
+    /// the same compensation [`Self::detect`] applies), named, in
+    /// ascending node order. The z-test attribution of [`Self::detect`]
+    /// still decides which candidate is the culprit; this is the cheap
+    /// interactive query an operator runs first.
+    pub fn root_cause_candidates(
+        &self,
+        engine: &QueryEngine,
+        step: usize,
+    ) -> std::result::Result<Vec<(usize, String)>, ServeError> {
+        let error_node = self.schema.error_node(step);
+        let mut seen: Vec<usize> = engine
+            .markov_blanket(error_node)?
+            .into_iter()
+            .chain(engine.ancestors(error_node)?)
+            .filter(|&n| !self.is_error_node(n))
+            .flat_map(|n| self.schema.group_members(n))
+            .collect();
+        seen.sort_unstable();
+        seen.dedup();
+        Ok(seen
+            .into_iter()
+            .map(|n| (n, self.schema.node_name(n)))
+            .collect())
     }
 
     /// Full pipeline: learn on `current`, then score every incoming path of
@@ -339,6 +401,40 @@ mod tests {
             "spurious reports in quiet window: {:?}",
             reports.iter().map(|r| &r.description).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn learned_model_serves_root_cause_queries() {
+        let schema = small_schema();
+        let mut sim = BookingSimulator::new(schema.clone(), 714);
+        let spec = AnomalySpec {
+            category: AnomalyCategory::Airline,
+            step: 1,
+            airline: Some(2),
+            fare_sources: Vec::new(),
+            agent: None,
+            arrival: None,
+            error_rate: 0.7,
+        };
+        let window = sim.window(4000, std::slice::from_ref(&spec));
+        let det = WindowDetector::new(schema.clone(), MonitorConfig::default());
+        let artifact = det.learn_model(&window).expect("servable model");
+        assert_eq!(artifact.dim(), schema.num_nodes());
+
+        // The serve path: persist, reload bit-exactly, query.
+        let reloaded = least_serve::ModelArtifact::from_bytes(&artifact.to_bytes()).unwrap();
+        assert_eq!(reloaded.to_bytes(), artifact.to_bytes());
+        let engine = QueryEngine::from_artifact(&reloaded).unwrap();
+        let candidates = det.root_cause_candidates(&engine, 1).unwrap();
+        assert!(
+            candidates.iter().any(|(n, _)| *n == schema.airline_node(2)),
+            "injected airline missing from candidates: {candidates:?}"
+        );
+        // Candidates never include error nodes and always carry names.
+        for (n, name) in &candidates {
+            assert!(!(0..NUM_STEPS).any(|s| schema.error_node(s) == *n));
+            assert!(!name.is_empty());
+        }
     }
 
     #[test]

@@ -1,0 +1,207 @@
+//! Serving-layer throughput benchmark.
+//!
+//! Drives ≥ 10k Markov-blanket + conditional-mean queries against a
+//! d=1000 sparse linear-Gaussian model **through the real TCP path**
+//! (connect, HTTP/1.1 keep-alive, JSON in/out), first with a single
+//! server worker and then with the full pool, and writes the
+//! machine-readable `BENCH_serve.json` (override the path with
+//! `LEAST_BENCH_OUT`).
+//!
+//! The model is registered over the wire too (one `PUT /models/{id}`),
+//! so the measured system is exactly what production traffic would hit.
+//! Before measuring, both artifact backends are checked for bit-exact
+//! save → load → save round-trips — the persistence guarantee the
+//! serving layer rests on.
+
+use least_bench::report::{fmt, heading, Table};
+use least_bench::timing::Json;
+use least_graph::{erdos_renyi_dag, weighted_adjacency_sparse, WeightRange};
+use least_linalg::{par, Xoshiro256pp};
+use least_serve::{
+    HttpClient, ModelArtifact, ModelMeta, ModelRegistry, Server, ServerConfig, WeightMatrix,
+};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Model size (nodes).
+const D: usize = 1000;
+/// Concurrent client connections.
+const CLIENTS: usize = 16;
+/// Queries per client (total = CLIENTS × PER_CLIENT ≥ 10k).
+const PER_CLIENT: usize = 640;
+
+/// d=1000 sparse ER ground-truth model with unit noise and mild
+/// intercepts — the LEAST-SP regime a deployed model comes from.
+fn model() -> ModelArtifact {
+    let mut rng = Xoshiro256pp::new(0x5E2E);
+    let g = erdos_renyi_dag(D, 2, &mut rng);
+    let w = weighted_adjacency_sparse(&g, WeightRange::default(), &mut rng);
+    let intercepts: Vec<f64> = (0..D).map(|_| rng.uniform(-0.5, 0.5)).collect();
+    ModelArtifact::new(
+        WeightMatrix::Sparse(w),
+        intercepts,
+        vec![1.0; D],
+        ModelMeta {
+            threshold: 0.0,
+            fingerprint: "serve_throughput ER d=1000 deg=2".into(),
+        },
+    )
+    .expect("consistent artifact")
+}
+
+/// Bit-exactness check: save → load → save must reproduce the stream.
+fn roundtrip_bit_exact(artifact: &ModelArtifact) -> bool {
+    let bytes = artifact.to_bytes();
+    match ModelArtifact::from_bytes(&bytes) {
+        Ok(back) => back.to_bytes() == bytes,
+        Err(_) => false,
+    }
+}
+
+/// One full run: boot a server with `workers` handlers, upload the model
+/// over TCP, fire the query load from `CLIENTS` concurrent connections,
+/// shut down. Returns the wall time of the query phase.
+fn run(artifact_bytes: &[u8], workers: usize) -> f64 {
+    let registry = Arc::new(ModelRegistry::new());
+    let config = ServerConfig {
+        workers,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", registry, config).expect("bind");
+    let addr = server.local_addr();
+    let handle = server.shutdown_handle();
+
+    let mut elapsed = 0.0;
+    std::thread::scope(|scope| {
+        let server_thread = scope.spawn(move || server.serve().expect("serve"));
+
+        // Shut the server down before propagating any client panic: an
+        // unwinding scope would otherwise block joining a server thread
+        // that was never signalled.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // Upload on a short-lived connection and drop it: an idle
+            // keep-alive connection owns its worker until the read timeout
+            // (connection-per-worker model, DESIGN.md §8), which would
+            // serialize the whole serial run behind it.
+            {
+                let mut setup = HttpClient::connect(addr).expect("connect");
+                let (status, body) = setup
+                    .request("PUT", "/models/bench", artifact_bytes)
+                    .expect("upload");
+                assert_eq!(
+                    status,
+                    201,
+                    "upload failed: {}",
+                    String::from_utf8_lossy(&body)
+                );
+            }
+
+            let start = Instant::now();
+            std::thread::scope(|clients| {
+                for client_id in 0..CLIENTS {
+                    clients.spawn(move || {
+                        let mut client = HttpClient::connect(addr).expect("connect");
+                        for i in 0..PER_CLIENT {
+                            let node = (client_id * 7919 + i * 13) % D;
+                            let body = if i % 2 == 0 {
+                                format!(r#"{{"kind":"markov_blanket","node":{node}}}"#)
+                            } else {
+                                let evidence = (node + 1) % D;
+                                format!(
+                                    r#"{{"kind":"posterior","target":{node},"evidence":[[{evidence},0.5]]}}"#
+                                )
+                            };
+                            let (status, response) = client
+                                .request("POST", "/models/bench/query", body.as_bytes())
+                                .expect("query");
+                            assert_eq!(
+                                status,
+                                200,
+                                "query failed: {}",
+                                String::from_utf8_lossy(&response)
+                            );
+                        }
+                    });
+                }
+            });
+            start.elapsed().as_secs_f64()
+        }));
+
+        handle.shutdown();
+        server_thread.join().expect("server thread");
+        match result {
+            Ok(seconds) => elapsed = seconds,
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    });
+    elapsed
+}
+
+fn main() {
+    let pool = par::max_threads();
+    let total_queries = CLIENTS * PER_CLIENT;
+    heading(&format!(
+        "serve throughput: {total_queries} queries (Markov blanket + conditional mean), \
+         d={D} sparse model, {CLIENTS} keep-alive connections, real TCP"
+    ));
+
+    let artifact = model();
+    let dense_variant = ModelArtifact::new(
+        WeightMatrix::Dense(match &artifact.weights {
+            WeightMatrix::Sparse(w) => w.to_dense(),
+            WeightMatrix::Dense(w) => w.clone(),
+        }),
+        artifact.intercepts.clone(),
+        artifact.noise_vars.clone(),
+        artifact.meta.clone(),
+    )
+    .expect("dense variant");
+    let exact_sparse = roundtrip_bit_exact(&artifact);
+    let exact_dense = roundtrip_bit_exact(&dense_variant);
+    assert!(exact_sparse, "CSR artifact round-trip lost bits");
+    assert!(exact_dense, "dense artifact round-trip lost bits");
+    println!(
+        "artifact round-trip bit-exact: csr ✓ dense ✓ ({} bytes sparse)",
+        artifact.to_bytes().len()
+    );
+
+    let bytes = artifact.to_bytes();
+    let serial = run(&bytes, 1);
+    let pooled = run(&bytes, pool);
+    let speedup = serial / pooled;
+
+    let mut table = Table::new(&["mode", "workers", "seconds", "queries/s"]);
+    table.row(vec![
+        "serial".into(),
+        "1".into(),
+        fmt(serial),
+        fmt(total_queries as f64 / serial),
+    ]);
+    table.row(vec![
+        "pooled".into(),
+        pool.to_string(),
+        fmt(pooled),
+        fmt(total_queries as f64 / pooled),
+    ]);
+    table.print();
+    println!("\nspeedup: {}", fmt(speedup));
+
+    let report = Json::obj(vec![
+        ("benchmark", Json::Str("serve_throughput".into())),
+        ("parallel_feature", Json::Bool(cfg!(feature = "parallel"))),
+        ("d", Json::Int(D as i64)),
+        ("clients", Json::Int(CLIENTS as i64)),
+        ("queries", Json::Int(total_queries as i64)),
+        ("roundtrip_bit_exact_csr", Json::Bool(exact_sparse)),
+        ("roundtrip_bit_exact_dense", Json::Bool(exact_dense)),
+        ("serial_seconds", Json::Num(serial)),
+        ("serial_qps", Json::Num(total_queries as f64 / serial)),
+        ("pooled_workers", Json::Int(pool as i64)),
+        ("pooled_seconds", Json::Num(pooled)),
+        ("pooled_qps", Json::Num(total_queries as f64 / pooled)),
+        ("speedup", Json::Num(speedup)),
+    ]);
+    let path = std::env::var("LEAST_BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".into());
+    std::fs::write(&path, report.render()).expect("write benchmark report");
+    println!("wrote {path}");
+}

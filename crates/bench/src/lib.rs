@@ -14,6 +14,14 @@
 //! | Design-choice ablations (k, α, θ, B) | `... --bin ablation` |
 //! | Constraint micro-costs (δ̄ vs h vs g) | `cargo bench -p least-bench` |
 //!
+//! Beyond the paper's figures, two systems benchmarks write
+//! machine-readable JSON artifacts:
+//!
+//! | Systems benchmark | Target |
+//! |---|---|
+//! | Solver engine, serial vs parallel (`BENCH_engine.json`) | `... --bin engine_throughput` |
+//! | Serving layer over real TCP (`BENCH_serve.json`) | `... --bin serve_throughput` |
+//!
 //! Every binary prints its seeds and parameters, accepts `--full` for
 //! paper-scale sweeps (the defaults are laptop-scale; EXPERIMENTS.md
 //! records the scale-downs), and writes aligned tables to stdout.

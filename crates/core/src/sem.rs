@@ -117,9 +117,19 @@ impl FittedSem {
         &self.weights
     }
 
+    /// Fitted per-node intercepts.
+    pub fn intercepts(&self) -> &[f64] {
+        &self.intercepts
+    }
+
     /// Fitted residual variances.
     pub fn noise_variances(&self) -> &[f64] {
         &self.noise_vars
+    }
+
+    /// Topological order of the structure (cached at fit time).
+    pub fn topological_order(&self) -> &[usize] {
+        &self.order
     }
 
     /// Predicted conditional mean of node `v` given a full observation.

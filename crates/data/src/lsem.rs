@@ -9,7 +9,7 @@
 //! the only approach that scales to the 10⁵-node graphs of Section V-B.
 
 use crate::noise::NoiseModel;
-use least_graph::DiGraph;
+use least_graph::{parent_lists_dense, parent_lists_sparse, DiGraph};
 use least_linalg::{CsrMatrix, DenseMatrix, LinalgError, Xoshiro256pp};
 
 /// Sample `n` i.i.d. LSEM observations for a ground-truth weighted DAG given
@@ -28,15 +28,9 @@ pub fn sample_lsem(
         .topological_sort()
         .ok_or_else(|| LinalgError::InvalidArgument("LSEM graph has a cycle".into()))?;
     let d = w.rows();
-    // Parent lists per node: (parent, weight), prebuilt once.
-    let mut parents: Vec<Vec<(u32, f64)>> = vec![Vec::new(); d];
-    for (u, row) in w.rows_iter().enumerate() {
-        for (v, &weight) in row.iter().enumerate() {
-            if weight != 0.0 {
-                parents[v].push((u as u32, weight));
-            }
-        }
-    }
+    // Parent lists per node: (parent, weight), prebuilt once — the shared
+    // helper the serving layer's query engine also builds on.
+    let parents = parent_lists_dense(w, 0.0);
     Ok(propagate(&order, &parents, d, n, noise, rng))
 }
 
@@ -52,10 +46,7 @@ pub fn sample_lsem_sparse(
         .topological_sort()
         .ok_or_else(|| LinalgError::InvalidArgument("LSEM graph has a cycle".into()))?;
     let d = w.rows();
-    let mut parents: Vec<Vec<(u32, f64)>> = vec![Vec::new(); d];
-    for (u, v, weight) in w.iter() {
-        parents[v].push((u as u32, weight));
-    }
+    let parents = parent_lists_sparse(w, 0.0);
     Ok(propagate(&order, &parents, d, n, noise, rng))
 }
 

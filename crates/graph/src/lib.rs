@@ -20,4 +20,7 @@ pub use acyclicity::{sparse_h, strongly_connected_components, SparseHReport};
 pub use dag::DiGraph;
 pub use dot::{to_dot, weighted_to_dot, DotOptions};
 pub use generate::{erdos_renyi_dag, scale_free_dag, GraphModel};
-pub use weights::{weighted_adjacency_dense, weighted_adjacency_sparse, WeightRange};
+pub use weights::{
+    parent_lists_dense, parent_lists_sparse, weighted_adjacency_dense, weighted_adjacency_sparse,
+    WeightRange,
+};

@@ -65,6 +65,39 @@ pub fn weighted_adjacency_sparse(
     coo.to_csr()
 }
 
+/// Per-node parent lists from a dense weighted adjacency: `out[v]` holds
+/// `(u, W[u, v])` for every `u` with `|W[u, v]| > tol`, parents in
+/// increasing order.
+///
+/// This is the shared representation behind LSEM forward sampling
+/// (`least-data`) and the serving layer's query engine: both walk a node's
+/// weighted parents in topological order, and both want it prebuilt once
+/// in `O(d²)` / `O(nnz)` rather than per sample or per query.
+pub fn parent_lists_dense(w: &DenseMatrix, tol: f64) -> Vec<Vec<(u32, f64)>> {
+    let mut parents: Vec<Vec<(u32, f64)>> = vec![Vec::new(); w.cols()];
+    for (u, row) in w.rows_iter().enumerate() {
+        for (v, &weight) in row.iter().enumerate() {
+            if weight.abs() > tol {
+                parents[v].push((u as u32, weight));
+            }
+        }
+    }
+    parents
+}
+
+/// Sparse-weight variant of [`parent_lists_dense`]: `O(nnz)` over the
+/// stored entries. Parents appear in increasing order (CSR iterates rows
+/// in order).
+pub fn parent_lists_sparse(w: &CsrMatrix, tol: f64) -> Vec<Vec<(u32, f64)>> {
+    let mut parents: Vec<Vec<(u32, f64)>> = vec![Vec::new(); w.cols()];
+    for (u, v, weight) in w.iter() {
+        if weight.abs() > tol {
+            parents[v].push((u as u32, weight));
+        }
+    }
+    parents
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,6 +139,40 @@ mod tests {
         let signs: Vec<bool> = (0..200).map(|_| range.sample(&mut rng) > 0.0).collect();
         let positives = signs.iter().filter(|&&s| s).count();
         assert!((50..150).contains(&positives), "positives {positives}");
+    }
+
+    #[test]
+    fn parent_lists_dense_and_sparse_agree() {
+        let mut rng = Xoshiro256pp::new(54);
+        let g = crate::generate::erdos_renyi_dag(12, 3, &mut rng);
+        let dense = weighted_adjacency_dense(&g, WeightRange::default(), &mut Xoshiro256pp::new(9));
+        let sparse =
+            weighted_adjacency_sparse(&g, WeightRange::default(), &mut Xoshiro256pp::new(9));
+        let pd = parent_lists_dense(&dense, 0.0);
+        let ps = parent_lists_sparse(&sparse, 0.0);
+        assert_eq!(pd, ps);
+        // Lists mirror the graph's incoming edges exactly.
+        for (v, list) in pd.iter().enumerate() {
+            for &(u, w) in list {
+                assert!(g.has_edge(u as usize, v));
+                assert_eq!(w, dense[(u as usize, v)]);
+            }
+            assert_eq!(
+                list.len(),
+                g.edges().filter(|&(_, dst)| dst == v).count(),
+                "node {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn parent_lists_respect_tolerance() {
+        let mut w = DenseMatrix::zeros(3, 3);
+        w[(0, 1)] = 0.05;
+        w[(1, 2)] = 2.0;
+        let lists = parent_lists_dense(&w, 0.1);
+        assert!(lists[1].is_empty());
+        assert_eq!(lists[2], vec![(1, 2.0)]);
     }
 
     #[test]

@@ -64,6 +64,59 @@ impl CsrMatrix {
         }
     }
 
+    /// Assemble from raw CSR arrays with **full validation** — the entry
+    /// point for deserialized (untrusted) data, unlike the debug-checked
+    /// [`Self::from_raw_parts`]. Verifies pointer arity, monotonicity,
+    /// agreement with `col_idx`/`values` lengths, and strictly increasing
+    /// in-bounds column indices per row.
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<u32>,
+        col_idx: Vec<u32>,
+        values: Vec<f64>,
+    ) -> Result<Self> {
+        let fail = |msg: String| Err(LinalgError::InvalidArgument(msg));
+        if row_ptr.len() != rows + 1 {
+            return fail(format!(
+                "row_ptr has {} entries, expected rows + 1 = {}",
+                row_ptr.len(),
+                rows + 1
+            ));
+        }
+        if row_ptr[0] != 0 {
+            return fail(format!("row_ptr[0] = {}, expected 0", row_ptr[0]));
+        }
+        if col_idx.len() != values.len() {
+            return fail(format!(
+                "col_idx length {} does not match values length {}",
+                col_idx.len(),
+                values.len()
+            ));
+        }
+        if *row_ptr.last().expect("non-empty") as usize != col_idx.len() {
+            return fail(format!(
+                "row_ptr end {} does not match nnz {}",
+                row_ptr.last().expect("non-empty"),
+                col_idx.len()
+            ));
+        }
+        if let Some(r) = (0..rows).find(|&r| row_ptr[r] > row_ptr[r + 1]) {
+            return fail(format!("row_ptr decreases at row {r}"));
+        }
+        for r in 0..rows {
+            let (s, e) = (row_ptr[r] as usize, row_ptr[r + 1] as usize);
+            let row_cols = &col_idx[s..e];
+            if row_cols.iter().any(|&c| c as usize >= cols) {
+                return fail(format!("column index out of bounds in row {r}"));
+            }
+            if row_cols.windows(2).any(|w| w[0] >= w[1]) {
+                return fail(format!("columns not strictly increasing in row {r}"));
+            }
+        }
+        Ok(Self::from_raw_parts(rows, cols, row_ptr, col_idx, values))
+    }
+
     /// Empty matrix with no stored entries.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         Self::from_raw_parts(rows, cols, vec![0; rows + 1], Vec::new(), Vec::new())
@@ -608,6 +661,33 @@ mod tests {
         for (slot, &(r, _, _)) in triples.iter().enumerate() {
             assert_eq!(rows[slot] as usize, r);
         }
+    }
+
+    #[test]
+    fn from_parts_accepts_valid_and_rejects_corrupt() {
+        let m = sample();
+        let rebuilt = CsrMatrix::from_parts(
+            m.rows(),
+            m.cols(),
+            m.row_pointers().to_vec(),
+            m.col_indices().to_vec(),
+            m.values().to_vec(),
+        )
+        .unwrap();
+        assert!(rebuilt.approx_eq(&m, 0.0));
+
+        // Wrong pointer arity.
+        assert!(CsrMatrix::from_parts(3, 3, vec![0, 1], vec![0], vec![1.0]).is_err());
+        // Nonzero first pointer.
+        assert!(CsrMatrix::from_parts(1, 3, vec![1, 1], vec![], vec![]).is_err());
+        // Pointer end disagrees with nnz.
+        assert!(CsrMatrix::from_parts(1, 3, vec![0, 2], vec![0], vec![1.0]).is_err());
+        // Column out of bounds.
+        assert!(CsrMatrix::from_parts(1, 3, vec![0, 1], vec![3], vec![1.0]).is_err());
+        // Duplicate / decreasing columns.
+        assert!(CsrMatrix::from_parts(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 2.0]).is_err());
+        // Decreasing row pointers (end still matches nnz).
+        assert!(CsrMatrix::from_parts(2, 3, vec![0, 2, 1], vec![0], vec![1.0]).is_err());
     }
 
     #[test]

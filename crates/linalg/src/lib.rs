@@ -28,6 +28,7 @@ pub mod matpow;
 pub mod par;
 pub mod power_iter;
 pub mod rng;
+pub mod serialize;
 pub mod trace_est;
 pub mod vecops;
 

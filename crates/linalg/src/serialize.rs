@@ -1,0 +1,275 @@
+//! Endianness-pinned binary (de)serialization for the matrix types.
+//!
+//! The serving layer persists fitted models as byte streams (see
+//! `DESIGN.md` §8). Everything here is **little-endian by definition** —
+//! `to_le_bytes`/`from_le_bytes` on every scalar — so artifacts written on
+//! one machine load bit-exactly on any other. Floats round-trip through
+//! their raw bit patterns (`f64::to_bits`), so `-0.0`, subnormals and NaN
+//! payloads survive unchanged.
+//!
+//! The encodings are self-describing (shape and nnz precede the payload)
+//! and validated on read: a [`ByteReader`] never panics on truncated or
+//! corrupt input, it returns [`LinalgError::InvalidArgument`], and CSR
+//! deserialization re-checks the full pattern invariant through
+//! [`CsrMatrix::from_parts`].
+
+use crate::csr::CsrMatrix;
+use crate::dense::DenseMatrix;
+use crate::error::LinalgError;
+use crate::Result;
+
+/// Bounded little-endian reader over a byte slice.
+///
+/// Every `read_*` advances an internal cursor and fails (instead of
+/// panicking) when the slice is exhausted — the defensive posture needed
+/// for bytes that arrive over the network.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Reader over the full slice.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Current cursor position (bytes consumed so far).
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Take the next `n` raw bytes.
+    pub fn read_bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(LinalgError::InvalidArgument(format!(
+                "truncated input: need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Next little-endian `u32`.
+    pub fn read_u32(&mut self) -> Result<u32> {
+        let b = self.read_bytes(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    /// Next little-endian `u64`.
+    pub fn read_u64(&mut self) -> Result<u64> {
+        let b = self.read_bytes(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Next `f64`, decoded from its little-endian bit pattern.
+    pub fn read_f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.read_u64()?))
+    }
+
+    /// Next `len` little-endian `u32`s.
+    pub fn read_u32_vec(&mut self, len: usize) -> Result<Vec<u32>> {
+        let raw = self.read_bytes(len.checked_mul(4).ok_or_else(too_large)?)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect())
+    }
+
+    /// Next `len` `f64`s (bit-pattern decode).
+    pub fn read_f64_vec(&mut self, len: usize) -> Result<Vec<f64>> {
+        let raw = self.read_bytes(len.checked_mul(8).ok_or_else(too_large)?)?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().expect("8 bytes"))))
+            .collect())
+    }
+}
+
+fn too_large() -> LinalgError {
+    LinalgError::InvalidArgument("declared length overflows the address space".into())
+}
+
+/// Append a little-endian `u32`.
+pub fn write_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a little-endian `u64`.
+pub fn write_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append an `f64` as its little-endian bit pattern.
+pub fn write_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+/// Append a slice of `f64`s (bit patterns, little-endian).
+pub fn write_f64_slice(out: &mut Vec<u8>, vs: &[f64]) {
+    out.reserve(vs.len() * 8);
+    for &v in vs {
+        write_f64(out, v);
+    }
+}
+
+/// Append a slice of `u32`s (little-endian).
+pub fn write_u32_slice(out: &mut Vec<u8>, vs: &[u32]) {
+    out.reserve(vs.len() * 4);
+    for &v in vs {
+        write_u32(out, v);
+    }
+}
+
+/// Encode a dense matrix: `rows u64 | cols u64 | data f64[rows*cols]`
+/// (row-major, bit patterns).
+pub fn write_dense(out: &mut Vec<u8>, m: &DenseMatrix) {
+    write_u64(out, m.rows() as u64);
+    write_u64(out, m.cols() as u64);
+    write_f64_slice(out, m.as_slice());
+}
+
+/// Decode a dense matrix written by [`write_dense`].
+pub fn read_dense(r: &mut ByteReader<'_>) -> Result<DenseMatrix> {
+    let rows = checked_dim(r.read_u64()?)?;
+    let cols = checked_dim(r.read_u64()?)?;
+    let len = rows.checked_mul(cols).ok_or_else(too_large)?;
+    let data = r.read_f64_vec(len)?;
+    DenseMatrix::from_vec(rows, cols, data)
+}
+
+/// Encode a CSR matrix:
+/// `rows u64 | cols u64 | nnz u64 | row_ptr u32[rows+1] | col_idx u32[nnz] | values f64[nnz]`.
+pub fn write_csr(out: &mut Vec<u8>, m: &CsrMatrix) {
+    write_u64(out, m.rows() as u64);
+    write_u64(out, m.cols() as u64);
+    write_u64(out, m.nnz() as u64);
+    write_u32_slice(out, m.row_pointers());
+    write_u32_slice(out, m.col_indices());
+    write_f64_slice(out, m.values());
+}
+
+/// Decode a CSR matrix written by [`write_csr`], re-validating the full
+/// pattern invariant (monotone row pointers, strictly increasing in-bounds
+/// columns) so corrupt input cannot construct a malformed matrix.
+pub fn read_csr(r: &mut ByteReader<'_>) -> Result<CsrMatrix> {
+    let rows = checked_dim(r.read_u64()?)?;
+    let cols = checked_dim(r.read_u64()?)?;
+    let nnz = checked_dim(r.read_u64()?)?;
+    let row_ptr = r.read_u32_vec(rows.checked_add(1).ok_or_else(too_large)?)?;
+    let col_idx = r.read_u32_vec(nnz)?;
+    let values = r.read_f64_vec(nnz)?;
+    CsrMatrix::from_parts(rows, cols, row_ptr, col_idx, values)
+}
+
+fn checked_dim(v: u64) -> Result<usize> {
+    usize::try_from(v).map_err(|_| {
+        LinalgError::InvalidArgument(format!("dimension {v} exceeds the platform word size"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    fn sample_csr() -> CsrMatrix {
+        let mut coo = Coo::new(3, 4);
+        for &(i, j, v) in &[
+            (0, 0, 1.5),
+            (0, 3, -2.0),
+            (1, 2, f64::MIN_POSITIVE),
+            (2, 1, -0.0),
+        ] {
+            coo.push(i, j, v).unwrap();
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn dense_round_trip_is_bit_exact() {
+        let m =
+            DenseMatrix::from_rows(&[&[1.0, -0.0, f64::MIN_POSITIVE], &[3.5e300, -1e-300, 0.1]])
+                .unwrap();
+        let mut bytes = Vec::new();
+        write_dense(&mut bytes, &m);
+        let back = read_dense(&mut ByteReader::new(&bytes)).unwrap();
+        assert_eq!(back.shape(), m.shape());
+        for (a, b) in m.as_slice().iter().zip(back.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn csr_round_trip_is_bit_exact() {
+        let m = sample_csr();
+        let mut bytes = Vec::new();
+        write_csr(&mut bytes, &m);
+        let back = read_csr(&mut ByteReader::new(&bytes)).unwrap();
+        assert_eq!(back.shape(), m.shape());
+        assert_eq!(back.row_pointers(), m.row_pointers());
+        assert_eq!(back.col_indices(), m.col_indices());
+        for (a, b) in m.values().iter().zip(back.values()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Re-serialization reproduces the exact byte stream.
+        let mut again = Vec::new();
+        write_csr(&mut again, &back);
+        assert_eq!(bytes, again);
+    }
+
+    #[test]
+    fn truncated_input_is_rejected_not_panicking() {
+        let mut bytes = Vec::new();
+        write_dense(&mut bytes, &DenseMatrix::identity(4));
+        for cut in [0, 7, 16, bytes.len() - 1] {
+            assert!(
+                read_dense(&mut ByteReader::new(&bytes[..cut])).is_err(),
+                "cut at {cut} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_csr_pattern_is_rejected() {
+        let mut bytes = Vec::new();
+        write_csr(&mut bytes, &sample_csr());
+        // Flip a column index beyond `cols` (col_idx starts after the
+        // 3 u64 header fields + 4 u32 row pointers).
+        let col_off = 24 + 4 * 4;
+        bytes[col_off] = 200;
+        assert!(read_csr(&mut ByteReader::new(&bytes)).is_err());
+    }
+
+    #[test]
+    fn reader_tracks_position_over_mixed_payloads() {
+        let mut bytes = Vec::new();
+        write_u32(&mut bytes, 7);
+        write_dense(&mut bytes, &DenseMatrix::zeros(2, 2));
+        write_u64(&mut bytes, 99);
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.read_u32().unwrap(), 7);
+        let m = read_dense(&mut r).unwrap();
+        assert_eq!(m.shape(), (2, 2));
+        assert_eq!(r.read_u64().unwrap(), 99);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn declared_length_overflow_is_rejected() {
+        // A dense header claiming u64::MAX x u64::MAX must fail cleanly.
+        let mut bytes = Vec::new();
+        write_u64(&mut bytes, u64::MAX);
+        write_u64(&mut bytes, u64::MAX);
+        assert!(read_dense(&mut ByteReader::new(&bytes)).is_err());
+    }
+}

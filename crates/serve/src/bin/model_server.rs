@@ -1,0 +1,89 @@
+//! Standalone model server.
+//!
+//! ```text
+//! cargo run --release -p least-serve --bin model_server
+//! ```
+//!
+//! Environment:
+//!
+//! * `LEAST_SERVE_ADDR` — bind address (default `127.0.0.1:0`; port 0
+//!   picks an ephemeral port, printed on stdout).
+//! * `LEAST_SERVE_MODEL` — path to a model artifact to preload (id taken
+//!   from `LEAST_SERVE_MODEL_ID`, default `model`). Without it a `demo`
+//!   model (d = 50 sparse ER linear-Gaussian BN) is registered so the
+//!   server is immediately queryable.
+//! * `LEAST_SERVE_ADDR_FILE` — if set, the bound `host:port` is written
+//!   there (how the CI smoke test discovers the ephemeral port).
+//! * `LEAST_SERVE_WORKERS` — worker-thread count (default: pool width).
+//!
+//! Stops cleanly on `POST /shutdown` and exits 0 — the contract the CI
+//! smoke test asserts.
+
+use least_serve::{ModelArtifact, ModelMeta, ModelRegistry, Server, ServerConfig, WeightMatrix};
+use std::sync::Arc;
+
+/// Deterministic demo model: a d=50 sparse ER DAG with random weights,
+/// unit noise, and mildly varied intercepts.
+fn demo_artifact() -> ModelArtifact {
+    use least_graph::{erdos_renyi_dag, weighted_adjacency_sparse, WeightRange};
+    use least_linalg::Xoshiro256pp;
+
+    let d = 50;
+    let mut rng = Xoshiro256pp::new(0x5EEE);
+    let g = erdos_renyi_dag(d, 2, &mut rng);
+    let w = weighted_adjacency_sparse(&g, WeightRange::default(), &mut rng);
+    let intercepts: Vec<f64> = (0..d).map(|_| rng.uniform(-1.0, 1.0)).collect();
+    ModelArtifact::new(
+        WeightMatrix::Sparse(w),
+        intercepts,
+        vec![1.0; d],
+        ModelMeta {
+            threshold: 0.0,
+            fingerprint: "model_server demo (ER d=50 deg=2 seed=0x5EEE)".into(),
+        },
+    )
+    .expect("demo artifact is consistent")
+}
+
+fn main() {
+    let addr = std::env::var("LEAST_SERVE_ADDR").unwrap_or_else(|_| "127.0.0.1:0".into());
+    let registry = Arc::new(ModelRegistry::new());
+
+    match std::env::var("LEAST_SERVE_MODEL") {
+        Ok(path) => {
+            let id = std::env::var("LEAST_SERVE_MODEL_ID").unwrap_or_else(|_| "model".into());
+            let artifact = ModelArtifact::load_from_path(&path)
+                .unwrap_or_else(|e| panic!("loading {path}: {e}"));
+            println!(
+                "loaded '{id}' from {path}: d={}, backend={}, nnz={}",
+                artifact.dim(),
+                artifact.weights.backend(),
+                artifact.weights.nnz()
+            );
+            registry.insert(&id, artifact).expect("model compiles");
+        }
+        Err(_) => {
+            registry
+                .insert("demo", demo_artifact())
+                .expect("demo model compiles");
+            println!("no LEAST_SERVE_MODEL set; registered built-in 'demo' model (d=50)");
+        }
+    }
+
+    let mut config = ServerConfig::default();
+    if let Some(workers) = std::env::var("LEAST_SERVE_WORKERS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+    {
+        config.workers = workers.max(1);
+    }
+
+    let server = Server::bind(&addr, registry, config.clone()).expect("bind");
+    let local = server.local_addr();
+    println!("listening on {local} ({} workers)", config.workers);
+    if let Ok(path) = std::env::var("LEAST_SERVE_ADDR_FILE") {
+        std::fs::write(&path, local.to_string()).expect("write addr file");
+    }
+    server.serve().expect("serve");
+    println!("clean shutdown");
+}

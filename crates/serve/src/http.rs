@@ -1,0 +1,296 @@
+//! Hand-rolled minimal HTTP/1.1: exactly the subset the serving layer
+//! speaks, on blocking `std::net` sockets.
+//!
+//! Supported: request line + headers + `Content-Length` bodies,
+//! keep-alive (the HTTP/1.1 default) and `Connection: close`. Not
+//! supported (rejected cleanly): chunked transfer encoding, upgrades,
+//! multi-line headers. The server side never trusts input: header count,
+//! line length and body size are all capped.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Maximum header line length (bytes).
+const MAX_LINE: usize = 8 * 1024;
+/// Maximum number of headers per message.
+const MAX_HEADERS: usize = 64;
+
+/// A parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method ("GET", "POST", ...).
+    pub method: String,
+    /// Request target path, e.g. `/models/demo/query`.
+    pub path: String,
+    /// Headers with lowercased names.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header (name matched case-insensitively).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let lower = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == lower)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// True when the client asked to close the connection after this
+    /// exchange.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why reading a request did not produce one.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete request.
+    Ready(Request),
+    /// Peer closed the connection cleanly between requests.
+    Closed,
+    /// The peer sent something unparseable; the connection should be
+    /// answered with 400 and closed. Carries a human-readable reason.
+    Malformed(String),
+    /// The declared body exceeds the configured cap; answer 413 and
+    /// close. Carries the declared length.
+    TooLarge(usize),
+}
+
+/// Read one request from a buffered stream. Read timeouts and resets
+/// surface as `Err(io)`; clean EOF between requests is `Closed`.
+pub fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    max_body: usize,
+) -> std::io::Result<ReadOutcome> {
+    let line = match read_line(reader)? {
+        None => return Ok(ReadOutcome::Closed),
+        Some(line) if line.is_empty() => return Ok(ReadOutcome::Closed),
+        Some(line) => line,
+    };
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Ok(ReadOutcome::Malformed(format!("bad request line: {line}")));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Ok(ReadOutcome::Malformed(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let method = method.to_ascii_uppercase();
+    let path = path.to_string();
+
+    let mut headers = Vec::new();
+    loop {
+        let Some(line) = read_line(reader)? else {
+            return Ok(ReadOutcome::Malformed("eof inside headers".into()));
+        };
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Ok(ReadOutcome::Malformed("too many headers".into()));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Ok(ReadOutcome::Malformed(format!("bad header: {line}")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    if headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && !v.eq_ignore_ascii_case("identity"))
+    {
+        return Ok(ReadOutcome::Malformed(
+            "chunked transfer encoding not supported".into(),
+        ));
+    }
+
+    let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
+        None => 0,
+        Some((_, v)) => match v.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => return Ok(ReadOutcome::Malformed(format!("bad content-length: {v}"))),
+        },
+    };
+    if content_length > max_body {
+        // Drain a bounded amount so a modest overage still gets its 413
+        // delivered cleanly (closing with unread data risks an RST that
+        // destroys the response in flight); truly huge claims are cut off.
+        const DRAIN_LIMIT: u64 = 256 * 1024;
+        let take = (content_length as u64).min(DRAIN_LIMIT);
+        std::io::copy(&mut reader.by_ref().take(take), &mut std::io::sink())?;
+        return Ok(ReadOutcome::TooLarge(content_length));
+    }
+    // Grow the buffer as bytes actually arrive rather than trusting the
+    // declared length with one up-front allocation — a stalled client
+    // claiming a huge body must not pin `max_body` of memory per worker.
+    let mut body = Vec::with_capacity(content_length.min(1 << 20));
+    reader
+        .by_ref()
+        .take(content_length as u64)
+        .read_to_end(&mut body)?;
+    if body.len() != content_length {
+        return Ok(ReadOutcome::Malformed(format!(
+            "body truncated: got {} of {content_length} declared bytes",
+            body.len()
+        )));
+    }
+    Ok(ReadOutcome::Ready(Request {
+        method,
+        path,
+        headers,
+        body,
+    }))
+}
+
+/// Read one CRLF (or bare LF) terminated line; `None` on clean EOF before
+/// any byte.
+fn read_line(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option<String>> {
+    let mut buf = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte)? {
+            0 => {
+                if buf.is_empty() {
+                    return Ok(None);
+                }
+                break;
+            }
+            _ => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                if buf.len() >= MAX_LINE {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        "header line too long",
+                    ));
+                }
+                buf.push(byte[0]);
+            }
+        }
+    }
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-utf8 header"))
+}
+
+/// Reason phrases for the status codes the server emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Write one response. `keep_alive` controls the `Connection` header; the
+/// caller decides whether to continue the read loop.
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let header = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        status,
+        reason(status),
+        content_type,
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Minimal blocking HTTP client over one keep-alive connection. Used by
+/// the integration tests and the `serve_throughput` benchmark; production
+/// consumers would use any standard client (the wire format is plain
+/// HTTP/1.1).
+#[derive(Debug)]
+pub struct HttpClient {
+    reader: BufReader<TcpStream>,
+}
+
+impl HttpClient {
+    /// Connect to `addr` (e.g. `127.0.0.1:8080`).
+    pub fn connect(addr: impl std::net::ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Self {
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Send one request and read the full response. Returns
+    /// `(status, body)`.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> std::io::Result<(u16, Vec<u8>)> {
+        let header = format!(
+            "{method} {path} HTTP/1.1\r\nHost: least-serve\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        let stream = self.reader.get_mut();
+        stream.write_all(header.as_bytes())?;
+        stream.write_all(body)?;
+        stream.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> std::io::Result<(u16, Vec<u8>)> {
+        let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+        let mut status_line = String::new();
+        if self.reader.read_line(&mut status_line)? == 0 {
+            return Err(bad("connection closed before response"));
+        }
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("bad status line"))?;
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(bad("eof inside response headers"));
+            }
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((k, v)) = line.split_once(':') {
+                if k.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = v
+                        .trim()
+                        .parse()
+                        .map_err(|_| bad("bad response content-length"))?;
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        Ok((status, body))
+    }
+}

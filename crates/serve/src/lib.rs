@@ -1,0 +1,61 @@
+//! # least-serve
+//!
+//! The deployment surface of the LEAST reproduction (DESIGN.md §8): the
+//! paper's system is a *deployed* pipeline at Alibaba whose learned
+//! networks feed downstream consumers, so a fitted model must be able to
+//! outlive its training process and answer queries behind a server.
+//! Three layers, each usable on its own:
+//!
+//! * [`artifact`] — versioned, endianness-pinned, checksummed binary
+//!   persistence for fitted linear-Gaussian BNs (dense or CSR weights
+//!   plus intercepts, noise variances, and provenance metadata), with
+//!   bit-exact round-trips;
+//! * [`query`] — the read path: structural queries (parents, children,
+//!   ancestors, Markov blanket, topological order — the bnlearn-style
+//!   consumer surface) and exact linear-Gaussian inference (marginals,
+//!   conditioning on evidence, `do(·)` interventions) in
+//!   `O((k+1)·(d + nnz))` per query via truncated path-weight
+//!   accumulation in topological order;
+//! * [`server`] — a std-only TCP serving layer: hand-rolled HTTP/1.1 +
+//!   JSON ([`http`], [`json`]), a scoped-thread worker pool sized by
+//!   `least_linalg::par`, and an `RwLock`-guarded model registry so
+//!   concurrent reads never serialize.
+//!
+//! ## From fit to query in five lines
+//!
+//! ```
+//! use least_core::FittedSem;
+//! use least_data::{sample_lsem, Dataset, NoiseModel};
+//! use least_graph::DiGraph;
+//! use least_linalg::{DenseMatrix, Xoshiro256pp};
+//! use least_serve::{ModelArtifact, QueryEngine};
+//!
+//! let g = DiGraph::from_edges(3, &[(0, 1), (1, 2)]);
+//! let mut w = DenseMatrix::zeros(3, 3);
+//! w[(0, 1)] = 1.0;
+//! w[(1, 2)] = 2.0;
+//! let mut rng = Xoshiro256pp::new(1);
+//! let x = sample_lsem(&w, 500, NoiseModel::standard_gaussian(), &mut rng)?;
+//! let sem = FittedSem::fit(&g, &Dataset::new(x))?;
+//!
+//! let artifact = ModelArtifact::from_fitted(&sem, 0.3, "docs example").unwrap();
+//! let engine = QueryEngine::from_artifact(&artifact).unwrap();
+//! assert_eq!(engine.markov_blanket(1).unwrap(), vec![0, 2]);
+//! let posterior = engine.posterior(2, &[(0, 1.0)], &[]).unwrap();
+//! assert!(posterior.variance > 0.0);
+//! # Ok::<(), least_linalg::LinalgError>(())
+//! ```
+
+pub mod artifact;
+pub mod error;
+pub mod http;
+pub mod json;
+pub mod query;
+pub mod server;
+
+pub use artifact::{ModelArtifact, ModelMeta, WeightMatrix};
+pub use error::{Result, ServeError};
+pub use http::HttpClient;
+pub use json::JsonValue;
+pub use query::{Gaussian, QueryEngine};
+pub use server::{ModelRegistry, ServedModel, Server, ServerConfig, ShutdownHandle};

@@ -1,0 +1,546 @@
+//! The read path of a served model: structural queries and exact
+//! linear-Gaussian inference.
+//!
+//! This is the consumer surface bnlearn standardized for fitted BNs —
+//! parent sets, Markov blankets, ancestor closures — plus exact posterior
+//! means/variances under evidence and `do(·)` interventions.
+//!
+//! ## Inference without matrix inversion
+//!
+//! The fitted SEM is `Xᵥ = cᵥ + Σ_{u ∈ pa(v)} W[u,v]·X_u + nᵥ` with
+//! independent `nᵥ ~ N(0, σᵥ²)`. Unrolling the recursion expresses any
+//! node as a weighted sum of source terms:
+//!
+//! ```text
+//! X_t = Σ_j r_t[j] · s_j,   s_j = c_j + n_j   (or the do() value),
+//! ```
+//!
+//! where `r_t[j]` is the **total path weight** from `j` to `t` — the
+//! `(j, t)` entry of `(I − W)⁻¹`. Instead of inverting, one reverse pass
+//! over the topological order accumulates `r_t` through the parent lists
+//! in `O(d + nnz)` (truncated at intervened nodes, whose incoming edges
+//! are cut by the do-calculus mutilation). Means, variances and
+//! covariances then reduce to dot products over the source terms:
+//!
+//! ```text
+//! E[X_a]       = Σ_j r_a[j]·c_j'          Cov(X_a, X_b) = Σ_j r_a[j]·r_b[j]·σⱼ²'
+//! ```
+//!
+//! Conditioning on evidence `E = e` is the exact Gaussian formula on the
+//! small `(1+k)×(1+k)` joint of `{target} ∪ E`, solved with the in-tree
+//! LU. Total cost per query: `O((k+1)·(d + nnz) + k³)` — independent of
+//! sample size, linear in model size, which is what lets a d=10⁵ sparse
+//! model answer in microseconds.
+
+use crate::artifact::{ModelArtifact, WeightMatrix};
+use crate::error::{Result, ServeError};
+use least_graph::{parent_lists_dense, parent_lists_sparse, DiGraph};
+use least_linalg::{lu::LuFactorization, DenseMatrix, LinalgError};
+
+/// A (mean, variance) pair — every inference answer is a 1-D Gaussian.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gaussian {
+    /// Posterior mean.
+    pub mean: f64,
+    /// Posterior variance (0 for observed/intervened targets).
+    pub variance: f64,
+}
+
+/// Immutable query engine compiled from a [`ModelArtifact`].
+///
+/// Construction pays the `O(nnz)` cost of parent/child lists and the
+/// topological order once; every query afterwards is read-only, so a
+/// server can share one engine across worker threads behind an `Arc`
+/// with no locking on the hot path.
+#[derive(Debug, Clone)]
+pub struct QueryEngine {
+    d: usize,
+    /// `parents[v]` = `(u, W[u,v])`, ascending in `u` (shared
+    /// representation with LSEM forward sampling).
+    parents: Vec<Vec<(u32, f64)>>,
+    /// `children[v]` = nodes `w` with `v → w`, ascending.
+    children: Vec<Vec<u32>>,
+    intercepts: Vec<f64>,
+    noise_vars: Vec<f64>,
+    order: Vec<usize>,
+}
+
+impl QueryEngine {
+    /// Compile an artifact into a query engine. Fails with
+    /// [`ServeError::CyclicModel`] when the weights are not a DAG.
+    pub fn from_artifact(artifact: &ModelArtifact) -> Result<Self> {
+        let parents = match &artifact.weights {
+            WeightMatrix::Dense(w) => parent_lists_dense(w, 0.0),
+            WeightMatrix::Sparse(w) => parent_lists_sparse(w, 0.0),
+        };
+        let d = artifact.dim();
+        let mut children: Vec<Vec<u32>> = vec![Vec::new(); d];
+        let mut graph = DiGraph::new(d);
+        for (v, list) in parents.iter().enumerate() {
+            for &(u, _) in list {
+                children[u as usize].push(v as u32);
+                graph.add_edge(u as usize, v);
+            }
+        }
+        graph.normalize();
+        let order = graph.topological_sort().ok_or(ServeError::CyclicModel)?;
+        Ok(Self {
+            d,
+            parents,
+            children,
+            intercepts: artifact.intercepts.clone(),
+            noise_vars: artifact.noise_vars.clone(),
+            order,
+        })
+    }
+
+    /// Number of variables.
+    pub fn dim(&self) -> usize {
+        self.d
+    }
+
+    /// A topological order of the model's DAG.
+    pub fn topological_order(&self) -> &[usize] {
+        &self.order
+    }
+
+    fn check_node(&self, v: usize) -> Result<()> {
+        if v >= self.d {
+            return Err(ServeError::NodeOutOfRange { node: v, d: self.d });
+        }
+        Ok(())
+    }
+
+    /// Direct parents of `v`, ascending.
+    pub fn parents(&self, v: usize) -> Result<Vec<usize>> {
+        self.check_node(v)?;
+        Ok(self.parents[v].iter().map(|&(u, _)| u as usize).collect())
+    }
+
+    /// Direct children of `v`, ascending.
+    pub fn children(&self, v: usize) -> Result<Vec<usize>> {
+        self.check_node(v)?;
+        Ok(self.children[v].iter().map(|&c| c as usize).collect())
+    }
+
+    /// All ancestors of `v` (excluding `v`), ascending. DFS over parent
+    /// lists — the transitive "possible root causes" set the monitoring
+    /// application queries. `O(d + nnz)`, no per-node allocation.
+    pub fn ancestors(&self, v: usize) -> Result<Vec<usize>> {
+        self.check_node(v)?;
+        let mut seen = vec![false; self.d];
+        let mut stack = vec![v];
+        while let Some(n) = stack.pop() {
+            for &(u, _) in &self.parents[n] {
+                if !seen[u as usize] {
+                    seen[u as usize] = true;
+                    stack.push(u as usize);
+                }
+            }
+        }
+        seen[v] = false;
+        Ok((0..self.d).filter(|&n| seen[n]).collect())
+    }
+
+    /// All descendants of `v` (excluding `v`), ascending — the downstream
+    /// impact set of an intervention at `v`. `O(d + nnz)`.
+    pub fn descendants(&self, v: usize) -> Result<Vec<usize>> {
+        self.check_node(v)?;
+        let mut seen = vec![false; self.d];
+        let mut stack = vec![v];
+        while let Some(n) = stack.pop() {
+            for &c in &self.children[n] {
+                if !seen[c as usize] {
+                    seen[c as usize] = true;
+                    stack.push(c as usize);
+                }
+            }
+        }
+        seen[v] = false;
+        Ok((0..self.d).filter(|&n| seen[n]).collect())
+    }
+
+    /// Markov blanket of `v`: parents ∪ children ∪ co-parents of its
+    /// children, excluding `v` itself; ascending. Conditioning on the
+    /// blanket renders `v` independent of the rest of the network — the
+    /// minimal feature set a downstream consumer needs.
+    pub fn markov_blanket(&self, v: usize) -> Result<Vec<usize>> {
+        self.check_node(v)?;
+        let mut seen = vec![false; self.d];
+        for &(u, _) in &self.parents[v] {
+            seen[u as usize] = true;
+        }
+        for &c in &self.children[v] {
+            seen[c as usize] = true;
+            for &(co, _) in &self.parents[c as usize] {
+                seen[co as usize] = true;
+            }
+        }
+        seen[v] = false;
+        Ok((0..self.d).filter(|&n| seen[n]).collect())
+    }
+
+    /// Marginal distribution of `v` with no evidence.
+    pub fn marginal(&self, v: usize) -> Result<Gaussian> {
+        self.posterior(v, &[], &[])
+    }
+
+    /// Exact posterior of `target` given observational `evidence` and
+    /// `do(·)` `interventions`, each a list of `(node, value)` pairs.
+    ///
+    /// Evidence is conditioned on (information flows both ways);
+    /// interventions mutilate the graph (incoming edges of intervened
+    /// nodes are cut), per Pearl's do-calculus.
+    pub fn posterior(
+        &self,
+        target: usize,
+        evidence: &[(usize, f64)],
+        interventions: &[(usize, f64)],
+    ) -> Result<Gaussian> {
+        self.check_node(target)?;
+        let mut role = vec![NodeRole::Free; self.d];
+        let mut do_value = vec![0.0; self.d];
+        for &(v, x) in interventions {
+            self.check_node(v)?;
+            if !x.is_finite() {
+                return Err(ServeError::InvalidQuery(format!(
+                    "non-finite intervention value for node {v}"
+                )));
+            }
+            if role[v] != NodeRole::Free {
+                return Err(ServeError::InvalidQuery(format!(
+                    "node {v} intervened on twice"
+                )));
+            }
+            role[v] = NodeRole::Intervened;
+            do_value[v] = x;
+        }
+        for &(v, x) in evidence {
+            self.check_node(v)?;
+            if !x.is_finite() {
+                return Err(ServeError::InvalidQuery(format!(
+                    "non-finite evidence value for node {v}"
+                )));
+            }
+            match role[v] {
+                NodeRole::Free => role[v] = NodeRole::Observed,
+                NodeRole::Observed => {
+                    return Err(ServeError::InvalidQuery(format!("node {v} observed twice")))
+                }
+                NodeRole::Intervened => {
+                    return Err(ServeError::InvalidQuery(format!(
+                        "node {v} is both evidence and intervention"
+                    )))
+                }
+            }
+        }
+        if role[target] == NodeRole::Intervened {
+            return Ok(Gaussian {
+                mean: do_value[target],
+                variance: 0.0,
+            });
+        }
+        if let NodeRole::Observed = role[target] {
+            let &(_, x) = evidence
+                .iter()
+                .find(|&&(v, _)| v == target)
+                .expect("target marked observed");
+            return Ok(Gaussian {
+                mean: x,
+                variance: 0.0,
+            });
+        }
+
+        // Path-weight vectors for the target and every evidence node.
+        let nodes: Vec<usize> = std::iter::once(target)
+            .chain(evidence.iter().map(|&(v, _)| v))
+            .collect();
+        let paths: Vec<Vec<f64>> = nodes.iter().map(|&a| self.path_weights(a, &role)).collect();
+
+        // Source-term means: intercept for free/observed nodes, the pinned
+        // value for intervened nodes (whose noise is cut).
+        let mean_of = |r: &[f64]| -> f64 {
+            r.iter()
+                .enumerate()
+                .map(|(j, &rj)| {
+                    rj * match role[j] {
+                        NodeRole::Intervened => do_value[j],
+                        _ => self.intercepts[j],
+                    }
+                })
+                .sum()
+        };
+        let cov_of = |ra: &[f64], rb: &[f64]| -> f64 {
+            ra.iter()
+                .zip(rb)
+                .enumerate()
+                .filter(|&(j, _)| role[j] != NodeRole::Intervened)
+                .map(|(j, (&a, &b))| a * b * self.noise_vars[j])
+                .sum()
+        };
+
+        let mu_t = mean_of(&paths[0]);
+        let var_t = cov_of(&paths[0], &paths[0]);
+        if evidence.is_empty() {
+            return Ok(Gaussian {
+                mean: mu_t,
+                variance: var_t.max(0.0),
+            });
+        }
+
+        // Exact Gaussian conditioning on the (1+k)-dimensional joint.
+        let k = evidence.len();
+        let sigma_ee = DenseMatrix::from_fn(k, k, |i, j| cov_of(&paths[i + 1], &paths[j + 1]));
+        let sigma_te: Vec<f64> = (0..k).map(|i| cov_of(&paths[0], &paths[i + 1])).collect();
+        let beta = match LuFactorization::new(&sigma_ee).and_then(|lu| lu.solve_vec(&sigma_te)) {
+            Ok(beta) => beta,
+            Err(LinalgError::Singular { .. }) => return Err(ServeError::DegenerateEvidence),
+            Err(e) => return Err(e.into()),
+        };
+        let mut mean = mu_t;
+        let mut variance = var_t;
+        for (i, &(v, x)) in evidence.iter().enumerate() {
+            debug_assert_eq!(nodes[i + 1], v);
+            mean += beta[i] * (x - mean_of(&paths[i + 1]));
+            variance -= beta[i] * sigma_te[i];
+        }
+        Ok(Gaussian {
+            mean,
+            variance: variance.max(0.0),
+        })
+    }
+
+    /// Total path weight from every node into `target` under the mutilated
+    /// graph: one reverse-topological accumulation through the parent
+    /// lists, `O(d + nnz)`. Intervened nodes keep their own entry but do
+    /// not propagate to their parents (their incoming edges are cut).
+    fn path_weights(&self, target: usize, role: &[NodeRole]) -> Vec<f64> {
+        let mut contrib = vec![0.0; self.d];
+        contrib[target] = 1.0;
+        for &v in self.order.iter().rev() {
+            let cv = contrib[v];
+            if cv == 0.0 || role[v] == NodeRole::Intervened {
+                continue;
+            }
+            for &(u, w) in &self.parents[v] {
+                contrib[u as usize] += w * cv;
+            }
+        }
+        contrib
+    }
+}
+
+/// How a query fixes (or not) each node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NodeRole {
+    Free,
+    Observed,
+    Intervened,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::ModelMeta;
+
+    fn meta() -> ModelMeta {
+        ModelMeta {
+            threshold: 0.0,
+            fingerprint: "test".into(),
+        }
+    }
+
+    /// Chain 0 →(2.0) 1 →(3.0) 2, unit noise, zero intercepts.
+    fn chain_engine() -> QueryEngine {
+        let mut w = DenseMatrix::zeros(3, 3);
+        w[(0, 1)] = 2.0;
+        w[(1, 2)] = 3.0;
+        let a =
+            ModelArtifact::new(WeightMatrix::Dense(w), vec![0.0; 3], vec![1.0; 3], meta()).unwrap();
+        QueryEngine::from_artifact(&a).unwrap()
+    }
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-10
+    }
+
+    #[test]
+    fn structural_queries_on_chain() {
+        let e = chain_engine();
+        assert_eq!(e.parents(2).unwrap(), vec![1]);
+        assert_eq!(e.children(0).unwrap(), vec![1]);
+        assert_eq!(e.ancestors(2).unwrap(), vec![0, 1]);
+        assert_eq!(e.descendants(0).unwrap(), vec![1, 2]);
+        assert_eq!(e.ancestors(0).unwrap(), Vec::<usize>::new());
+        let order = e.topological_order();
+        assert_eq!(order.len(), 3);
+        assert!(order.iter().position(|&v| v == 0) < order.iter().position(|&v| v == 2));
+    }
+
+    #[test]
+    fn markov_blanket_includes_coparents() {
+        // V-structure 0 → 2 ← 1: MB(0) must contain the co-parent 1.
+        let mut w = DenseMatrix::zeros(3, 3);
+        w[(0, 2)] = 1.0;
+        w[(1, 2)] = 1.0;
+        let a =
+            ModelArtifact::new(WeightMatrix::Dense(w), vec![0.0; 3], vec![1.0; 3], meta()).unwrap();
+        let e = QueryEngine::from_artifact(&a).unwrap();
+        assert_eq!(e.markov_blanket(0).unwrap(), vec![1, 2]);
+        assert_eq!(e.markov_blanket(2).unwrap(), vec![0, 1]);
+    }
+
+    #[test]
+    fn marginal_moments_match_hand_computation() {
+        let e = chain_engine();
+        // X2 = 6·X0 + 3·n1 + n2 ⇒ Var = 36 + 9 + 1 = 46.
+        let g = e.marginal(2).unwrap();
+        assert!(close(g.mean, 0.0) && close(g.variance, 46.0), "{g:?}");
+        let g0 = e.marginal(0).unwrap();
+        assert!(close(g0.variance, 1.0));
+    }
+
+    #[test]
+    fn intercepts_propagate_through_means() {
+        let mut w = DenseMatrix::zeros(2, 2);
+        w[(0, 1)] = 2.0;
+        let a = ModelArtifact::new(
+            WeightMatrix::Dense(w),
+            vec![1.0, -1.0],
+            vec![1.0, 1.0],
+            meta(),
+        )
+        .unwrap();
+        let e = QueryEngine::from_artifact(&a).unwrap();
+        // E[X1] = c1 + 2·c0 = 1.
+        assert!(close(e.marginal(1).unwrap().mean, 1.0));
+    }
+
+    #[test]
+    fn downstream_evidence_conditions_upstream() {
+        let e = chain_engine();
+        // Cov(X0, X2) = 6, Var(X2) = 46: classic Gaussian conditioning.
+        let g = e.posterior(0, &[(2, 4.6)], &[]).unwrap();
+        assert!(close(g.mean, 6.0 * 4.6 / 46.0), "{g:?}");
+        assert!(close(g.variance, 1.0 - 36.0 / 46.0), "{g:?}");
+    }
+
+    #[test]
+    fn upstream_evidence_truncates_variance() {
+        let e = chain_engine();
+        // Given X0 = x: X2 = 6x + 3·n1 + n2 ⇒ var 10.
+        let g = e.posterior(2, &[(0, 1.5)], &[]).unwrap();
+        assert!(close(g.mean, 9.0) && close(g.variance, 10.0), "{g:?}");
+    }
+
+    #[test]
+    fn do_intervention_cuts_incoming_edges() {
+        let e = chain_engine();
+        // do(X1 = v): X2 = 3v + n2; X0 unaffected.
+        let g2 = e.posterior(2, &[], &[(1, 2.0)]).unwrap();
+        assert!(close(g2.mean, 6.0) && close(g2.variance, 1.0), "{g2:?}");
+        let g0 = e.posterior(0, &[], &[(1, 2.0)]).unwrap();
+        assert!(close(g0.mean, 0.0) && close(g0.variance, 1.0), "{g0:?}");
+        // Intervened target is a point mass.
+        let g1 = e.posterior(1, &[], &[(1, 2.0)]).unwrap();
+        assert_eq!(
+            g1,
+            Gaussian {
+                mean: 2.0,
+                variance: 0.0
+            }
+        );
+    }
+
+    #[test]
+    fn do_differs_from_conditioning_upstream() {
+        let e = chain_engine();
+        // Observing X1 informs X0 (they correlate); doing X1 does not.
+        let seen = e.posterior(0, &[(1, 5.0)], &[]).unwrap();
+        let done = e.posterior(0, &[], &[(1, 5.0)]).unwrap();
+        assert!(seen.mean > 1.0, "{seen:?}");
+        assert!(close(done.mean, 0.0), "{done:?}");
+    }
+
+    #[test]
+    fn evidence_and_do_compose() {
+        let e = chain_engine();
+        // do(X1=v) cuts 0 → 1, so evidence on X0 is irrelevant for X2.
+        let g = e.posterior(2, &[(0, 100.0)], &[(1, 1.0)]).unwrap();
+        assert!(close(g.mean, 3.0) && close(g.variance, 1.0), "{g:?}");
+    }
+
+    #[test]
+    fn observed_target_is_point_mass() {
+        let e = chain_engine();
+        let g = e.posterior(1, &[(1, 7.0)], &[]).unwrap();
+        assert_eq!(
+            g,
+            Gaussian {
+                mean: 7.0,
+                variance: 0.0
+            }
+        );
+    }
+
+    #[test]
+    fn invalid_queries_are_rejected() {
+        let e = chain_engine();
+        assert!(matches!(
+            e.parents(9),
+            Err(ServeError::NodeOutOfRange { node: 9, d: 3 })
+        ));
+        assert!(e.posterior(0, &[(1, 1.0), (1, 2.0)], &[]).is_err());
+        assert!(e.posterior(0, &[(1, 1.0)], &[(1, 2.0)]).is_err());
+        assert!(e.posterior(0, &[(1, f64::NAN)], &[]).is_err());
+        assert!(e.posterior(0, &[], &[(1, f64::INFINITY)]).is_err());
+    }
+
+    #[test]
+    fn cyclic_weights_are_rejected() {
+        let mut w = DenseMatrix::zeros(2, 2);
+        w[(0, 1)] = 1.0;
+        w[(1, 0)] = 1.0;
+        let a =
+            ModelArtifact::new(WeightMatrix::Dense(w), vec![0.0; 2], vec![1.0; 2], meta()).unwrap();
+        assert!(matches!(
+            QueryEngine::from_artifact(&a),
+            Err(ServeError::CyclicModel)
+        ));
+    }
+
+    #[test]
+    fn sparse_and_dense_backends_answer_identically() {
+        let mut w = DenseMatrix::zeros(4, 4);
+        w[(0, 1)] = 1.2;
+        w[(0, 2)] = -0.7;
+        w[(1, 3)] = 0.9;
+        w[(2, 3)] = 2.0;
+        let intercepts = vec![0.3, -0.1, 0.0, 1.0];
+        let noise = vec![1.0, 0.5, 2.0, 0.25];
+        let dense = ModelArtifact::new(
+            WeightMatrix::Dense(w.clone()),
+            intercepts.clone(),
+            noise.clone(),
+            meta(),
+        )
+        .unwrap();
+        let sparse = ModelArtifact::new(
+            WeightMatrix::Sparse(least_linalg::CsrMatrix::from_dense(&w, 0.0)),
+            intercepts,
+            noise,
+            meta(),
+        )
+        .unwrap();
+        let ed = QueryEngine::from_artifact(&dense).unwrap();
+        let es = QueryEngine::from_artifact(&sparse).unwrap();
+        for v in 0..4 {
+            assert_eq!(ed.markov_blanket(v).unwrap(), es.markov_blanket(v).unwrap());
+            let (a, b) = (ed.marginal(v).unwrap(), es.marginal(v).unwrap());
+            assert!(close(a.mean, b.mean) && close(a.variance, b.variance));
+        }
+        let a = ed.posterior(3, &[(0, 1.0)], &[(2, -1.0)]).unwrap();
+        let b = es.posterior(3, &[(0, 1.0)], &[(2, -1.0)]).unwrap();
+        assert!(close(a.mean, b.mean) && close(a.variance, b.variance));
+    }
+}

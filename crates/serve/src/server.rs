@@ -1,0 +1,606 @@
+//! The serving layer: a TCP model server on a scoped-thread worker pool.
+//!
+//! Threading model (DESIGN.md §8): one acceptor (the thread that called
+//! [`Server::serve`]) plus `workers` handler threads inside a single
+//! `std::thread::scope`. Accepted connections go through a
+//! `Mutex<VecDeque>` + `Condvar` hand-off; each worker owns a connection
+//! for its keep-alive lifetime. The model registry is an
+//! `RwLock<HashMap>` — queries take the read lock only long enough to
+//! clone an `Arc` to the (immutable) compiled engine, so concurrent reads
+//! never serialize on the lock and never block behind a long query.
+//!
+//! Routes:
+//!
+//! | method | path                  | body              | response            |
+//! |--------|-----------------------|-------------------|---------------------|
+//! | GET    | `/healthz`            | —                 | liveness + counts   |
+//! | GET    | `/models`             | —                 | model listing       |
+//! | PUT    | `/models/{id}`        | artifact bytes    | registration report |
+//! | POST   | `/models/{id}/query`  | JSON query        | JSON answer         |
+//! | POST   | `/shutdown`           | —                 | ack, then drain     |
+
+use crate::artifact::ModelArtifact;
+use crate::error::ServeError;
+use crate::http::{read_request, write_response, ReadOutcome, Request};
+use crate::json::{parse as parse_json, JsonValue};
+use crate::query::{Gaussian, QueryEngine};
+use std::collections::{HashMap, VecDeque};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::Duration;
+
+/// A registered model: the artifact (kept for re-download/introspection)
+/// plus the compiled query engine.
+#[derive(Debug)]
+pub struct ServedModel {
+    /// The artifact as uploaded.
+    pub artifact: ModelArtifact,
+    /// Engine compiled at registration time.
+    pub engine: QueryEngine,
+}
+
+/// Concurrent model registry. Reads (queries, listings) take the shared
+/// lock; writes (uploads) the exclusive one.
+#[derive(Debug, Default)]
+pub struct ModelRegistry {
+    models: RwLock<HashMap<String, Arc<ServedModel>>>,
+}
+
+impl ModelRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Compile and register a model under `id`, replacing any previous
+    /// model with that id.
+    pub fn insert(&self, id: &str, artifact: ModelArtifact) -> crate::error::Result<()> {
+        let engine = QueryEngine::from_artifact(&artifact)?;
+        let model = Arc::new(ServedModel { artifact, engine });
+        self.models
+            .write()
+            .expect("registry lock poisoned")
+            .insert(id.to_string(), model);
+        Ok(())
+    }
+
+    /// Fetch a model by id (cheap `Arc` clone under the read lock).
+    pub fn get(&self, id: &str) -> Option<Arc<ServedModel>> {
+        self.models
+            .read()
+            .expect("registry lock poisoned")
+            .get(id)
+            .cloned()
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.models.read().expect("registry lock poisoned").len()
+    }
+
+    /// True when no model is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(id, model)` pairs sorted by id.
+    pub fn list(&self) -> Vec<(String, Arc<ServedModel>)> {
+        let mut out: Vec<_> = self
+            .models
+            .read()
+            .expect("registry lock poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Handler threads. Defaults to the `least_linalg::par` pool width, so
+    /// `LEAST_NUM_THREADS` governs the server like every other parallel
+    /// path in the workspace.
+    pub workers: usize,
+    /// Upload/body size cap in bytes.
+    pub max_body_bytes: usize,
+    /// Per-connection read timeout; an idle keep-alive connection is
+    /// dropped after this long so it cannot pin a worker forever.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: least_linalg::par::max_threads(),
+            max_body_bytes: 256 << 20,
+            read_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Shared mutable server state: the connection queue and shutdown flag.
+#[derive(Debug, Default)]
+struct ServerState {
+    shutdown: AtomicBool,
+    queue: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+}
+
+/// Handle for stopping a running server from another thread (or from a
+/// worker handling `POST /shutdown`).
+#[derive(Debug, Clone)]
+pub struct ShutdownHandle {
+    state: Arc<ServerState>,
+    addr: SocketAddr,
+}
+
+impl ShutdownHandle {
+    /// Request a graceful stop: the acceptor exits, queued connections
+    /// are answered with 503, in-flight requests complete.
+    pub fn shutdown(&self) {
+        if self.state.shutdown.swap(true, Ordering::SeqCst) {
+            return; // already shutting down
+        }
+        // Wake the blocking accept with a no-op connection, and any
+        // workers parked on the queue condvar.
+        TcpStream::connect(self.addr).ok();
+        self.state.ready.notify_all();
+    }
+
+    /// True once a shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.state.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// A bound-but-not-yet-serving model server.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    registry: Arc<ModelRegistry>,
+    config: ServerConfig,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Bind to `addr` (use port 0 for an ephemeral port).
+    pub fn bind(
+        addr: impl std::net::ToSocketAddrs,
+        registry: Arc<ModelRegistry>,
+        config: ServerConfig,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Self {
+            listener,
+            registry,
+            config,
+            state: Arc::new(ServerState::default()),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("bound listener")
+    }
+
+    /// Handle for stopping the server from another thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            state: Arc::clone(&self.state),
+            addr: self.local_addr(),
+        }
+    }
+
+    /// Run until shutdown. Blocks the calling thread, which doubles as
+    /// the acceptor; handler threads live in a `std::thread::scope`, so
+    /// every worker has joined by the time this returns.
+    pub fn serve(self) -> std::io::Result<()> {
+        let workers = self.config.workers.max(1);
+        let state = &self.state;
+        let registry = &self.registry;
+        let config = &self.config;
+        let shutdown = ShutdownHandle {
+            state: Arc::clone(&self.state),
+            addr: self.local_addr(),
+        };
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let shutdown = shutdown.clone();
+                scope.spawn(move || worker_loop(state, registry, config, &shutdown));
+            }
+            for conn in self.listener.incoming() {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match conn {
+                    Ok(stream) => {
+                        let mut queue = state.queue.lock().expect("queue lock poisoned");
+                        queue.push_back(stream);
+                        drop(queue);
+                        state.ready.notify_one();
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::ConnectionAborted => continue,
+                    Err(e) => {
+                        // Fatal accept error: stop the pool before bailing.
+                        shutdown.shutdown();
+                        return Err(e);
+                    }
+                }
+            }
+            state.ready.notify_all();
+            Ok(())
+        })
+    }
+}
+
+/// Worker: pull connections off the queue until shutdown drains it.
+fn worker_loop(
+    state: &ServerState,
+    registry: &ModelRegistry,
+    config: &ServerConfig,
+    shutdown: &ShutdownHandle,
+) {
+    loop {
+        let stream = {
+            let mut queue = state.queue.lock().expect("queue lock poisoned");
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    break Some(stream);
+                }
+                if state.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = state.ready.wait(queue).expect("queue lock poisoned");
+            }
+        };
+        let Some(stream) = stream else { return };
+        if state.shutdown.load(Ordering::SeqCst) {
+            // Drain politely: the server is stopping.
+            let mut stream = stream;
+            let body = error_body("server is shutting down");
+            write_response(&mut stream, 503, "application/json", body.as_bytes(), false).ok();
+            continue;
+        }
+        handle_connection(stream, registry, config, shutdown);
+    }
+}
+
+/// Serve one keep-alive connection to completion.
+fn handle_connection(
+    stream: TcpStream,
+    registry: &ModelRegistry,
+    config: &ServerConfig,
+    shutdown: &ShutdownHandle,
+) {
+    stream.set_read_timeout(Some(config.read_timeout)).ok();
+    stream.set_nodelay(true).ok();
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut write_half = write_half;
+    let mut reader = BufReader::new(stream);
+    loop {
+        let request = match read_request(&mut reader, config.max_body_bytes) {
+            Ok(ReadOutcome::Ready(req)) => req,
+            Ok(ReadOutcome::Closed) => return,
+            Ok(ReadOutcome::Malformed(msg)) => {
+                let body = error_body(&msg);
+                write_response(
+                    &mut write_half,
+                    400,
+                    "application/json",
+                    body.as_bytes(),
+                    false,
+                )
+                .ok();
+                return;
+            }
+            Ok(ReadOutcome::TooLarge(declared)) => {
+                let body = error_body(&format!(
+                    "body of {declared} bytes exceeds the {}-byte limit",
+                    config.max_body_bytes
+                ));
+                write_response(
+                    &mut write_half,
+                    413,
+                    "application/json",
+                    body.as_bytes(),
+                    false,
+                )
+                .ok();
+                return;
+            }
+            // Timeouts (idle keep-alive) and resets: just drop the line.
+            Err(_) => return,
+        };
+        let close_after = request.wants_close() || shutdown.is_shutdown();
+        let (status, body) = route(&request, registry, shutdown);
+        if write_response(
+            &mut write_half,
+            status,
+            "application/json",
+            body.render().as_bytes(),
+            !close_after,
+        )
+        .is_err()
+            || close_after
+        {
+            return;
+        }
+    }
+}
+
+fn error_body(msg: &str) -> String {
+    JsonValue::obj(vec![("error", JsonValue::Str(msg.into()))]).render()
+}
+
+/// Dispatch one request. Pure except for registry access and the
+/// shutdown trigger.
+fn route(
+    request: &Request,
+    registry: &ModelRegistry,
+    shutdown: &ShutdownHandle,
+) -> (u16, JsonValue) {
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => (
+            200,
+            JsonValue::obj(vec![
+                ("status", JsonValue::Str("ok".into())),
+                ("models", JsonValue::Num(registry.len() as f64)),
+            ]),
+        ),
+        ("GET", ["models"]) => {
+            let listing = registry
+                .list()
+                .into_iter()
+                .map(|(id, model)| {
+                    JsonValue::obj(vec![
+                        ("id", JsonValue::Str(id)),
+                        ("d", JsonValue::Num(model.artifact.dim() as f64)),
+                        (
+                            "backend",
+                            JsonValue::Str(model.artifact.weights.backend().into()),
+                        ),
+                        ("nnz", JsonValue::Num(model.artifact.weights.nnz() as f64)),
+                        (
+                            "fingerprint",
+                            JsonValue::Str(model.artifact.meta.fingerprint.clone()),
+                        ),
+                    ])
+                })
+                .collect();
+            (
+                200,
+                JsonValue::obj(vec![("models", JsonValue::Arr(listing))]),
+            )
+        }
+        ("PUT" | "POST", ["models", id]) => match ModelArtifact::from_bytes(&request.body) {
+            Ok(artifact) => {
+                let d = artifact.dim();
+                let nnz = artifact.weights.nnz();
+                match registry.insert(id, artifact) {
+                    Ok(()) => (
+                        201,
+                        JsonValue::obj(vec![
+                            ("id", JsonValue::Str(id.to_string())),
+                            ("d", JsonValue::Num(d as f64)),
+                            ("nnz", JsonValue::Num(nnz as f64)),
+                        ]),
+                    ),
+                    Err(e) => bad_request(&e.to_string()),
+                }
+            }
+            Err(e) => bad_request(&e.to_string()),
+        },
+        ("POST", ["models", id, "query"]) => match registry.get(id) {
+            None => (
+                404,
+                JsonValue::obj(vec![("error", JsonValue::Str(format!("no model '{id}'")))]),
+            ),
+            Some(model) => match answer_query(&model.engine, &request.body) {
+                Ok(answer) => (200, answer),
+                Err(msg) => bad_request(&msg),
+            },
+        },
+        ("POST", ["shutdown"]) => {
+            shutdown.shutdown();
+            (
+                200,
+                JsonValue::obj(vec![("status", JsonValue::Str("shutting down".into()))]),
+            )
+        }
+        (_, ["healthz" | "models" | "shutdown", ..]) => (
+            405,
+            JsonValue::obj(vec![("error", JsonValue::Str("method not allowed".into()))]),
+        ),
+        _ => (
+            404,
+            JsonValue::obj(vec![("error", JsonValue::Str("not found".into()))]),
+        ),
+    }
+}
+
+fn bad_request(msg: &str) -> (u16, JsonValue) {
+    (
+        400,
+        JsonValue::obj(vec![("error", JsonValue::Str(msg.into()))]),
+    )
+}
+
+/// Decode and evaluate one JSON query against an engine.
+///
+/// Body shape:
+/// `{"kind": "...", "node": n}` for structural queries
+/// (`parents`, `children`, `ancestors`, `descendants`, `markov_blanket`,
+/// `topological_order`), and
+/// `{"kind": "marginal"|"posterior", "target": t,
+///   "evidence": [[node, value], ...], "do": [[node, value], ...]}`
+/// for inference.
+fn answer_query(engine: &QueryEngine, body: &[u8]) -> Result<JsonValue, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not utf-8".to_string())?;
+    let query = parse_json(text)?;
+    let kind = query
+        .get("kind")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing 'kind'")?;
+
+    let node_of = |value: &JsonValue| -> Result<usize, String> {
+        value
+            .as_usize()
+            .ok_or_else(|| "node must be a non-negative integer".to_string())
+    };
+    let node = || -> Result<usize, String> {
+        node_of(
+            query
+                .get("node")
+                .or_else(|| query.get("target"))
+                .ok_or("missing 'node'")?,
+        )
+    };
+    let pairs = |key: &str| -> Result<Vec<(usize, f64)>, String> {
+        match query.get(key) {
+            None => Ok(Vec::new()),
+            Some(value) => value
+                .as_array()
+                .ok_or_else(|| format!("'{key}' must be an array of [node, value] pairs"))?
+                .iter()
+                .map(|pair| {
+                    let items = pair
+                        .as_array()
+                        .filter(|p| p.len() == 2)
+                        .ok_or_else(|| format!("'{key}' entries must be [node, value]"))?;
+                    let v = items[1]
+                        .as_f64()
+                        .ok_or_else(|| format!("'{key}' value must be a number"))?;
+                    Ok((node_of(&items[0])?, v))
+                })
+                .collect(),
+        }
+    };
+
+    let err = |e: ServeError| e.to_string();
+    let nodes_answer = |label: &str, nodes: Vec<usize>| {
+        JsonValue::obj(vec![
+            ("kind", JsonValue::Str(label.into())),
+            ("nodes", JsonValue::num_array(nodes)),
+        ])
+    };
+    match kind {
+        "parents" => Ok(nodes_answer(kind, engine.parents(node()?).map_err(err)?)),
+        "children" => Ok(nodes_answer(kind, engine.children(node()?).map_err(err)?)),
+        "ancestors" => Ok(nodes_answer(kind, engine.ancestors(node()?).map_err(err)?)),
+        "descendants" => Ok(nodes_answer(
+            kind,
+            engine.descendants(node()?).map_err(err)?,
+        )),
+        "markov_blanket" => Ok(nodes_answer(
+            kind,
+            engine.markov_blanket(node()?).map_err(err)?,
+        )),
+        "topological_order" => Ok(nodes_answer(kind, engine.topological_order().to_vec())),
+        "marginal" | "posterior" => {
+            let target = node()?;
+            let evidence = pairs("evidence")?;
+            let interventions = pairs("do")?;
+            let Gaussian { mean, variance } = engine
+                .posterior(target, &evidence, &interventions)
+                .map_err(err)?;
+            Ok(JsonValue::obj(vec![
+                ("kind", JsonValue::Str(kind.into())),
+                ("target", JsonValue::Num(target as f64)),
+                ("mean", JsonValue::Num(mean)),
+                ("variance", JsonValue::Num(variance)),
+            ]))
+        }
+        other => Err(format!("unknown query kind '{other}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::{ModelMeta, WeightMatrix};
+    use least_linalg::DenseMatrix;
+
+    fn demo_artifact() -> ModelArtifact {
+        let mut w = DenseMatrix::zeros(3, 3);
+        w[(0, 1)] = 2.0;
+        w[(1, 2)] = 3.0;
+        ModelArtifact::new(
+            WeightMatrix::Dense(w),
+            vec![0.0; 3],
+            vec![1.0; 3],
+            ModelMeta {
+                threshold: 0.0,
+                fingerprint: "unit-test".into(),
+            },
+        )
+        .unwrap()
+    }
+
+    fn engine() -> QueryEngine {
+        QueryEngine::from_artifact(&demo_artifact()).unwrap()
+    }
+
+    #[test]
+    fn answer_query_structural() {
+        let out = answer_query(&engine(), br#"{"kind":"markov_blanket","node":1}"#).unwrap();
+        assert_eq!(out.get("nodes").unwrap(), &JsonValue::num_array(vec![0, 2]));
+    }
+
+    #[test]
+    fn answer_query_posterior() {
+        let out = answer_query(
+            &engine(),
+            br#"{"kind":"posterior","target":2,"evidence":[[0,1.5]]}"#,
+        )
+        .unwrap();
+        let mean = out.get("mean").and_then(JsonValue::as_f64).unwrap();
+        let var = out.get("variance").and_then(JsonValue::as_f64).unwrap();
+        assert!((mean - 9.0).abs() < 1e-10 && (var - 10.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn answer_query_do() {
+        let out = answer_query(
+            &engine(),
+            br#"{"kind":"posterior","target":2,"do":[[1,2.0]]}"#,
+        )
+        .unwrap();
+        assert_eq!(out.get("mean").and_then(JsonValue::as_f64), Some(6.0));
+        assert_eq!(out.get("variance").and_then(JsonValue::as_f64), Some(1.0));
+    }
+
+    #[test]
+    fn answer_query_rejects_garbage() {
+        let e = engine();
+        assert!(answer_query(&e, b"not json").is_err());
+        assert!(answer_query(&e, br#"{"kind":"nope","node":0}"#).is_err());
+        assert!(answer_query(&e, br#"{"kind":"parents"}"#).is_err());
+        assert!(answer_query(&e, br#"{"kind":"parents","node":-1}"#).is_err());
+        assert!(answer_query(&e, br#"{"kind":"parents","node":99}"#).is_err());
+        assert!(answer_query(&e, br#"{"kind":"posterior","target":0,"evidence":[[1]]}"#).is_err());
+    }
+
+    #[test]
+    fn registry_insert_get_list() {
+        let reg = ModelRegistry::new();
+        assert!(reg.is_empty());
+        reg.insert("m1", demo_artifact()).unwrap();
+        reg.insert("m0", demo_artifact()).unwrap();
+        assert_eq!(reg.len(), 2);
+        assert!(reg.get("m1").is_some());
+        assert!(reg.get("nope").is_none());
+        let ids: Vec<String> = reg.list().into_iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec!["m0", "m1"]);
+        // Replacement keeps the count.
+        reg.insert("m1", demo_artifact()).unwrap();
+        assert_eq!(reg.len(), 2);
+    }
+}

@@ -1,0 +1,242 @@
+//! Property-style validation of the query engine's exact inference
+//! against Monte-Carlo estimates from `sample_lsem` forward sampling.
+//!
+//! The engine claims *exact* linear-Gaussian posteriors; forward sampling
+//! is an independent implementation of the same generative model, so on
+//! random DAGs the two must agree within Monte-Carlo error:
+//!
+//! * marginal mean/variance vs. sample moments;
+//! * conditional mean/variance vs. OLS of the target on the evidence
+//!   nodes (for jointly Gaussian data, the population regression function
+//!   *is* the conditional mean, and the residual variance *is* the
+//!   conditional variance);
+//! * `do(·)` posteriors vs. resampling a hand-mutilated model.
+
+use least_data::{sample_lsem, NoiseModel};
+use least_graph::{erdos_renyi_dag, parent_lists_dense, weighted_adjacency_dense, WeightRange};
+use least_linalg::{CsrMatrix, DenseMatrix, Xoshiro256pp};
+use least_serve::{ModelArtifact, ModelMeta, QueryEngine, WeightMatrix};
+
+const N: usize = 200_000;
+
+fn meta() -> ModelMeta {
+    ModelMeta {
+        threshold: 0.0,
+        fingerprint: "inference test".into(),
+    }
+}
+
+/// Random ground-truth weights (zero intercepts, unit noise — matching
+/// what `sample_lsem` generates) and the engine compiled from them.
+fn random_model(d: usize, degree: usize, seed: u64) -> (DenseMatrix, QueryEngine) {
+    let mut rng = Xoshiro256pp::new(seed);
+    let g = erdos_renyi_dag(d, degree, &mut rng);
+    let w = weighted_adjacency_dense(&g, WeightRange { lo: 0.5, hi: 1.2 }, &mut rng);
+    let artifact = ModelArtifact::new(
+        WeightMatrix::Dense(w.clone()),
+        vec![0.0; d],
+        vec![1.0; d],
+        meta(),
+    )
+    .unwrap();
+    (w.clone(), QueryEngine::from_artifact(&artifact).unwrap())
+}
+
+fn col_moments(x: &DenseMatrix, j: usize) -> (f64, f64) {
+    let col = x.col(j);
+    let n = col.len() as f64;
+    let mean = col.iter().sum::<f64>() / n;
+    let var = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    (mean, var)
+}
+
+#[test]
+fn marginals_match_forward_sampling() {
+    for seed in [11, 12, 13] {
+        let (w, engine) = random_model(12, 2, seed);
+        let x = sample_lsem(
+            &w,
+            N,
+            NoiseModel::standard_gaussian(),
+            &mut Xoshiro256pp::new(seed ^ 0xFACE),
+        )
+        .unwrap();
+        for v in 0..12 {
+            let exact = engine.marginal(v).unwrap();
+            let (mc_mean, mc_var) = col_moments(&x, v);
+            let scale = exact.variance.max(1.0);
+            assert!(
+                (exact.mean - mc_mean).abs() < 4.0 * (scale / N as f64).sqrt() + 0.02,
+                "seed {seed} node {v}: mean {} vs MC {mc_mean}",
+                exact.mean
+            );
+            assert!(
+                (exact.variance - mc_var).abs() / scale < 0.05,
+                "seed {seed} node {v}: var {} vs MC {mc_var}",
+                exact.variance
+            );
+        }
+    }
+}
+
+/// For jointly Gaussian variables, E[X_t | X_E] is the linear regression
+/// of X_t on X_E and Var(X_t | X_E) its residual variance — so an OLS fit
+/// on forward samples is a Monte-Carlo estimate of the engine's output.
+#[test]
+fn conditionals_match_monte_carlo_regression() {
+    let d = 10;
+    let (w, engine) = random_model(d, 2, 21);
+    let x = sample_lsem(
+        &w,
+        N,
+        NoiseModel::standard_gaussian(),
+        &mut Xoshiro256pp::new(0xBEEF),
+    )
+    .unwrap();
+
+    // A handful of (target, evidence-set) combinations across the graph.
+    let cases: Vec<(usize, Vec<usize>)> = vec![
+        (d - 1, vec![0]),
+        (0, vec![d - 1]),
+        (d / 2, vec![0, d - 1]),
+        (1, vec![2, 5, 8]),
+    ];
+    for (target, ev_nodes) in cases {
+        let ev_nodes: Vec<usize> = ev_nodes.into_iter().filter(|&e| e != target).collect();
+        let k = ev_nodes.len();
+        // OLS of x_target on [1, x_E] via the normal equations.
+        let mut gram = DenseMatrix::zeros(k + 1, k + 1);
+        let mut rhs = vec![0.0; k + 1];
+        for s in 0..N {
+            let row = x.row(s);
+            let mut feats = vec![1.0];
+            feats.extend(ev_nodes.iter().map(|&e| row[e]));
+            for (a, &fa) in feats.iter().enumerate() {
+                rhs[a] += fa * row[target];
+                for (b, &fb) in feats.iter().enumerate() {
+                    gram[(a, b)] += fa * fb;
+                }
+            }
+        }
+        let beta = least_linalg::lu::LuFactorization::new(&gram)
+            .unwrap()
+            .solve_vec(&rhs)
+            .unwrap();
+        let mut residual_ss = 0.0;
+        for s in 0..N {
+            let row = x.row(s);
+            let mut pred = beta[0];
+            for (i, &e) in ev_nodes.iter().enumerate() {
+                pred += beta[i + 1] * row[e];
+            }
+            residual_ss += (row[target] - pred) * (row[target] - pred);
+        }
+        let mc_cond_var = residual_ss / N as f64;
+
+        // Evaluate both at a fixed evidence point.
+        let evidence: Vec<(usize, f64)> = ev_nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| (e, 0.5 + 0.25 * i as f64))
+            .collect();
+        let exact = engine.posterior(target, &evidence, &[]).unwrap();
+        let mc_mean = beta[0]
+            + evidence
+                .iter()
+                .enumerate()
+                .map(|(i, &(_, val))| beta[i + 1] * val)
+                .sum::<f64>();
+        let scale = exact.variance.max(1.0);
+        assert!(
+            (exact.mean - mc_mean).abs() < 0.05 * scale.sqrt().max(1.0),
+            "target {target} | {ev_nodes:?}: mean {} vs OLS {mc_mean}",
+            exact.mean
+        );
+        assert!(
+            (exact.variance - mc_cond_var).abs() / scale < 0.05,
+            "target {target} | {ev_nodes:?}: var {} vs OLS residual {mc_cond_var}",
+            exact.variance
+        );
+    }
+}
+
+/// `do(v = x)` must match forward sampling on the mutilated model
+/// (incoming edges of `v` cut, value pinned).
+#[test]
+fn interventions_match_mutilated_forward_sampling() {
+    let d = 8;
+    let (w, engine) = random_model(d, 2, 31);
+    // Pick an intervention node with both parents and descendants when
+    // possible; node d/2 in a random ER DAG generally qualifies.
+    let do_node = d / 2;
+    let do_value = 2.5;
+
+    // Hand-rolled mutilated sampler, reusing the shared parent lists.
+    let parents = parent_lists_dense(&w, 0.0);
+    let g = least_graph::DiGraph::from_dense(&w, 0.0);
+    let order = g.topological_sort().unwrap();
+    let mut rng = Xoshiro256pp::new(0xD0D0);
+    let samples = 120_000;
+    let mut x = DenseMatrix::zeros(samples, d);
+    for s in 0..samples {
+        let row = x.row_mut(s);
+        for &v in &order {
+            row[v] = if v == do_node {
+                do_value
+            } else {
+                let mut val = rng.gaussian();
+                for &(u, weight) in &parents[v] {
+                    val += weight * row[u as usize];
+                }
+                val
+            };
+        }
+    }
+
+    for target in 0..d {
+        let exact = engine
+            .posterior(target, &[], &[(do_node, do_value)])
+            .unwrap();
+        let (mc_mean, mc_var) = col_moments(&x, target);
+        let scale = exact.variance.max(1.0);
+        assert!(
+            (exact.mean - mc_mean).abs() < 0.05 * scale.sqrt().max(1.0),
+            "do({do_node}={do_value}) target {target}: mean {} vs MC {mc_mean}",
+            exact.mean
+        );
+        assert!(
+            (exact.variance - mc_var).abs() / scale < 0.05,
+            "do({do_node}={do_value}) target {target}: var {} vs MC {mc_var}",
+            exact.variance
+        );
+    }
+}
+
+/// The two weight backends and a full artifact byte round-trip must leave
+/// every answer bit-identical.
+#[test]
+fn round_tripped_artifacts_answer_identically() {
+    let (w, dense_engine) = random_model(15, 3, 41);
+    let sparse = ModelArtifact::new(
+        WeightMatrix::Sparse(CsrMatrix::from_dense(&w, 0.0)),
+        vec![0.0; 15],
+        vec![1.0; 15],
+        meta(),
+    )
+    .unwrap();
+    let reloaded = ModelArtifact::from_bytes(&sparse.to_bytes()).unwrap();
+    assert_eq!(reloaded.to_bytes(), sparse.to_bytes());
+    let sparse_engine = QueryEngine::from_artifact(&reloaded).unwrap();
+    for v in 0..15 {
+        let (a, b) = (
+            dense_engine.marginal(v).unwrap(),
+            sparse_engine.marginal(v).unwrap(),
+        );
+        assert_eq!(a.mean.to_bits(), b.mean.to_bits(), "node {v}");
+        assert_eq!(a.variance.to_bits(), b.variance.to_bits(), "node {v}");
+        assert_eq!(
+            dense_engine.markov_blanket(v).unwrap(),
+            sparse_engine.markov_blanket(v).unwrap()
+        );
+    }
+}

@@ -1,0 +1,215 @@
+//! End-to-end tests of the serving layer over real TCP sockets: boot on
+//! an ephemeral port, upload artifacts, query concurrently, shut down
+//! cleanly.
+
+use least_graph::{erdos_renyi_dag, weighted_adjacency_sparse, WeightRange};
+use least_linalg::Xoshiro256pp;
+use least_serve::{
+    HttpClient, JsonValue, ModelArtifact, ModelMeta, ModelRegistry, QueryEngine, Server,
+    ServerConfig, WeightMatrix,
+};
+use std::sync::Arc;
+
+fn sparse_artifact(d: usize, seed: u64) -> ModelArtifact {
+    let mut rng = Xoshiro256pp::new(seed);
+    let g = erdos_renyi_dag(d, 2, &mut rng);
+    let w = weighted_adjacency_sparse(&g, WeightRange::default(), &mut rng);
+    ModelArtifact::new(
+        WeightMatrix::Sparse(w),
+        vec![0.0; d],
+        vec![1.0; d],
+        ModelMeta {
+            threshold: 0.0,
+            fingerprint: format!("tcp test seed={seed}"),
+        },
+    )
+    .unwrap()
+}
+
+/// Boot a server on an ephemeral port, run `body` with its address, then
+/// shut down and propagate panics from both sides.
+fn with_server(config: ServerConfig, f: impl FnOnce(std::net::SocketAddr) + Send) {
+    let registry = Arc::new(ModelRegistry::new());
+    let server = Server::bind("127.0.0.1:0", registry, config).unwrap();
+    let addr = server.local_addr();
+    let handle = server.shutdown_handle();
+    std::thread::scope(|scope| {
+        let server_thread = scope.spawn(move || server.serve().unwrap());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(addr)));
+        handle.shutdown();
+        server_thread.join().expect("server thread");
+        if let Err(p) = result {
+            std::panic::resume_unwind(p);
+        }
+    });
+}
+
+fn parse_body(body: &[u8]) -> JsonValue {
+    least_serve::json::parse(std::str::from_utf8(body).unwrap()).unwrap()
+}
+
+#[test]
+fn healthz_upload_query_lifecycle() {
+    with_server(ServerConfig::default(), |addr| {
+        let mut client = HttpClient::connect(addr).unwrap();
+
+        let (status, body) = client.request("GET", "/healthz", b"").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(
+            parse_body(&body).get("models").and_then(JsonValue::as_f64),
+            Some(0.0)
+        );
+
+        // Upload.
+        let artifact = sparse_artifact(30, 7);
+        let (status, body) = client
+            .request("PUT", "/models/m30", &artifact.to_bytes())
+            .unwrap();
+        assert_eq!(status, 201, "{}", String::from_utf8_lossy(&body));
+
+        // Listing reflects it.
+        let (status, body) = client.request("GET", "/models", b"").unwrap();
+        assert_eq!(status, 200);
+        let listing = parse_body(&body);
+        let models = listing.get("models").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(models.len(), 1);
+        assert_eq!(
+            models[0].get("backend").and_then(JsonValue::as_str),
+            Some("csr")
+        );
+
+        // Structural query matches a locally compiled engine.
+        let engine = QueryEngine::from_artifact(&artifact).unwrap();
+        let (status, body) = client
+            .request(
+                "POST",
+                "/models/m30/query",
+                br#"{"kind":"markov_blanket","node":5}"#,
+            )
+            .unwrap();
+        assert_eq!(status, 200);
+        let answer = parse_body(&body);
+        assert_eq!(
+            answer.get("nodes").unwrap(),
+            &JsonValue::num_array(engine.markov_blanket(5).unwrap())
+        );
+
+        // Inference query matches too.
+        let (status, body) = client
+            .request(
+                "POST",
+                "/models/m30/query",
+                br#"{"kind":"posterior","target":9,"evidence":[[0,1.0]],"do":[[3,-0.5]]}"#,
+            )
+            .unwrap();
+        assert_eq!(status, 200);
+        let answer = parse_body(&body);
+        let exact = engine.posterior(9, &[(0, 1.0)], &[(3, -0.5)]).unwrap();
+        let wire_mean = answer.get("mean").and_then(JsonValue::as_f64).unwrap();
+        assert!((wire_mean - exact.mean).abs() < 1e-9);
+
+        // Error paths: missing model, bad query, corrupt upload.
+        let (status, _) = client
+            .request(
+                "POST",
+                "/models/nope/query",
+                br#"{"kind":"parents","node":0}"#,
+            )
+            .unwrap();
+        assert_eq!(status, 404);
+        let (status, _) = client.request("POST", "/models/m30/query", b"{}").unwrap();
+        assert_eq!(status, 400);
+        let mut corrupt = artifact.to_bytes();
+        corrupt[20] ^= 0xFF;
+        let (status, body) = client.request("PUT", "/models/bad", &corrupt).unwrap();
+        assert_eq!(status, 400);
+        assert!(String::from_utf8_lossy(&body).contains("checksum"));
+        let (status, _) = client.request("GET", "/nowhere", b"").unwrap();
+        assert_eq!(status, 404);
+    });
+}
+
+#[test]
+fn concurrent_clients_get_consistent_answers() {
+    let config = ServerConfig {
+        workers: 4,
+        ..ServerConfig::default()
+    };
+    with_server(config, |addr| {
+        let artifact = sparse_artifact(100, 9);
+        let engine = QueryEngine::from_artifact(&artifact).unwrap();
+        let mut setup = HttpClient::connect(addr).unwrap();
+        let (status, _) = setup
+            .request("PUT", "/models/shared", &artifact.to_bytes())
+            .unwrap();
+        assert_eq!(status, 201);
+
+        std::thread::scope(|scope| {
+            for client_id in 0..8usize {
+                let engine = &engine;
+                scope.spawn(move || {
+                    let mut client = HttpClient::connect(addr).unwrap();
+                    for i in 0..50usize {
+                        let node = (client_id * 13 + i * 7) % 100;
+                        let body = format!(r#"{{"kind":"markov_blanket","node":{node}}}"#);
+                        let (status, response) = client
+                            .request("POST", "/models/shared/query", body.as_bytes())
+                            .unwrap();
+                        assert_eq!(status, 200);
+                        let answer = parse_body(&response);
+                        assert_eq!(
+                            answer.get("nodes").unwrap(),
+                            &JsonValue::num_array(engine.markov_blanket(node).unwrap()),
+                            "client {client_id} node {node}"
+                        );
+                    }
+                });
+            }
+        });
+    });
+}
+
+#[test]
+fn shutdown_endpoint_stops_the_server() {
+    let registry = Arc::new(ModelRegistry::new());
+    let server = Server::bind("127.0.0.1:0", registry, ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+    std::thread::scope(|scope| {
+        let server_thread = scope.spawn(move || server.serve());
+        let mut client = HttpClient::connect(addr).unwrap();
+        let (status, body) = client.request("POST", "/shutdown", b"").unwrap();
+        assert_eq!(status, 200);
+        assert!(String::from_utf8_lossy(&body).contains("shutting down"));
+        // serve() must return cleanly (the test would otherwise hang).
+        server_thread
+            .join()
+            .expect("join")
+            .expect("clean serve exit");
+    });
+}
+
+#[test]
+fn oversize_body_gets_413() {
+    let config = ServerConfig {
+        max_body_bytes: 1024,
+        ..ServerConfig::default()
+    };
+    with_server(config, |addr| {
+        let mut client = HttpClient::connect(addr).unwrap();
+        let (status, body) = client.request("PUT", "/models/big", &[0u8; 4096]).unwrap();
+        assert_eq!(status, 413);
+        assert!(String::from_utf8_lossy(&body).contains("exceeds"));
+    });
+}
+
+#[test]
+fn malformed_http_gets_400_not_a_hang() {
+    with_server(ServerConfig::default(), |addr| {
+        use std::io::{Read, Write};
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        stream.write_all(b"NONSENSE\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+    });
+}

@@ -7,6 +7,12 @@
 //! The monitor learns a BN on the current window, walks paths into the
 //! error nodes and scores them against the baseline window.
 //!
+//! The second half is the serve-backed query path: the incident window's
+//! BN is packaged as a model artifact, uploaded to a live `least-serve`
+//! server over TCP, and root-cause candidates are answered from the
+//! served model — the interactive triage an on-call engineer runs
+//! without touching the learner.
+//!
 //! ```text
 //! cargo run --release --example anomaly_monitoring
 //! ```
@@ -14,6 +20,8 @@
 use least_bn::apps::monitor::{
     AnomalyCategory, AnomalySpec, BookingSchema, BookingSimulator, MonitorConfig, WindowDetector,
 };
+use least_bn::serve::{HttpClient, ModelRegistry, QueryEngine, Server, ServerConfig};
+use std::sync::Arc;
 
 fn main() {
     let schema = BookingSchema::default();
@@ -74,4 +82,50 @@ fn main() {
         "the injected root cause should be reported"
     );
     println!("\ninjected root cause (Airline-SL, step 3) correctly identified ✓");
+
+    // --- The serve-backed query path -------------------------------------
+    // Package the incident window's BN as a servable artifact and put it
+    // behind a real TCP server.
+    let artifact = detector
+        .learn_model(&current)
+        .expect("servable window model");
+    let registry = Arc::new(ModelRegistry::new());
+    let server = Server::bind("127.0.0.1:0", registry, ServerConfig::default()).expect("bind");
+    let addr = server.local_addr();
+    let handle = server.shutdown_handle();
+    // Talk to the server, then shut it down *before* asserting or
+    // propagating a panic: an unwinding scope would otherwise block
+    // joining a server thread that was never signalled.
+    let (upload_status, candidates) = std::thread::scope(|scope| {
+        let server_thread = scope.spawn(move || server.serve().expect("serve"));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut client = HttpClient::connect(addr).expect("connect");
+            let (status, _) = client
+                .request("PUT", "/models/window-current", &artifact.to_bytes())
+                .expect("upload");
+
+            // An operator's first triage query: who could explain step-3
+            // errors? Answered from the served model's structure.
+            let engine = QueryEngine::from_artifact(&artifact).expect("engine");
+            (status, detector.root_cause_candidates(&engine, 2))
+        }));
+        handle.shutdown();
+        server_thread.join().expect("server thread");
+        match result {
+            Ok(v) => v,
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    });
+    assert_eq!(upload_status, 201);
+    println!("\nuploaded window model to http://{addr}/models/window-current");
+    let candidates = candidates.expect("candidates");
+    println!("root-cause candidates for step 3 (served structure):");
+    for (_, name) in candidates.iter().take(8) {
+        println!("  - {name}");
+    }
+    assert!(
+        candidates.iter().any(|(_, name)| name == "Airline-SL"),
+        "served candidates must include the injected airline"
+    );
+    println!("served root-cause candidates include Airline-SL ✓");
 }

@@ -42,3 +42,4 @@ pub use least_linalg as linalg;
 pub use least_metrics as metrics;
 pub use least_notears as notears;
 pub use least_optim as optim;
+pub use least_serve as serve;
