@@ -11,7 +11,7 @@
 
 use crate::monitor::simulator::{BookingLog, BookingRecord, BookingSchema, NUM_STEPS};
 use least_core::{FittedSem, LeastConfig, LeastDense};
-use least_data::Dataset;
+use least_data::{Dataset, Preprocess, SufficientStats};
 use least_graph::DiGraph;
 use least_linalg::{DenseMatrix, Result};
 use least_metrics::{hypothesis::benjamini_hochberg, two_proportion_test};
@@ -110,11 +110,21 @@ impl WindowDetector {
     }
 
     /// Learn the window's BN structure (the Fig. 6 object).
+    ///
+    /// The window is reduced to centered [`SufficientStats`] first and the
+    /// solver runs on the Gram path (`fit_stats`): per-iteration cost is
+    /// `O(d²)` regardless of the window's record count, so widening the
+    /// monitoring window (more traffic, longer horizon) costs one
+    /// streaming pass, not a slower learner. For full-batch
+    /// configurations (the [`MonitorConfig`] default) the statistics
+    /// product is the same `XᵀX` the data path computed, so learned
+    /// structures are unchanged; a `batch_size` in [`MonitorConfig::least`]
+    /// is ignored on this path — statistics have no batching.
     pub fn learn_graph(&self, log: &BookingLog) -> Result<DiGraph> {
-        let mut data = Dataset::new(self.encode(log));
-        data.center_columns();
+        let raw = Dataset::new(self.encode(log));
+        let stats = SufficientStats::from_dataset(&raw, Preprocess::Center)?;
         let solver = LeastDense::new(self.config.least)?;
-        let learned = solver.fit(&data)?;
+        let learned = solver.fit_stats(&stats)?;
         Ok(learned.graph(self.config.tau))
     }
 
@@ -126,17 +136,22 @@ impl WindowDetector {
     /// queries against it without rerunning the learner.
     pub fn learn_model(&self, log: &BookingLog) -> std::result::Result<ModelArtifact, ServeError> {
         let raw = Dataset::new(self.encode(log));
-        let mut centered = Dataset::new(raw.matrix().clone());
-        centered.center_columns();
+        // Both the structure learner and the parameter fitter run from
+        // sufficient statistics: centered for the solver (the Gram path),
+        // raw-unfolded for OLS. After `encode`, nothing downstream ever
+        // walks the records again.
+        let stats =
+            SufficientStats::from_dataset(&raw, Preprocess::Center).map_err(ServeError::Linalg)?;
         let solver = LeastDense::new(self.config.least).map_err(ServeError::Linalg)?;
-        let learned = solver.fit(&centered).map_err(ServeError::Linalg)?;
+        let learned = solver.fit_stats(&stats).map_err(ServeError::Linalg)?;
         let structure = learned.graph(self.config.tau);
-        // Parameters come from the *uncentered* window: OLS with an
+        // Parameters come from the *uncentered* moments: OLS with an
         // intercept column yields the same slopes either way, but only
         // raw-coordinate intercepts make served queries (evidence in
         // 0/1 one-hot units, marginal error rates) mean what an
-        // operator expects.
-        let sem = FittedSem::fit(&structure, &raw).map_err(ServeError::Linalg)?;
+        // operator expects. `fit_from_stats` unfolds the centering, so
+        // the same statistics object serves both coordinate systems.
+        let sem = FittedSem::fit_from_stats(&structure, &stats).map_err(ServeError::Linalg)?;
         ModelArtifact::from_fitted(
             &sem,
             self.config.tau,

@@ -132,14 +132,12 @@ fn main() {
     }
     table.print();
 
-    let report = Json::obj(vec![
-        ("benchmark", Json::Str("engine_throughput".into())),
-        ("parallel_feature", Json::Bool(cfg!(feature = "parallel"))),
-        ("threads", Json::Int(pool as i64)),
-        ("reps_best_of", Json::Int(REPS as i64)),
-        ("workloads", Json::Arr(entries)),
-    ]);
-    let path = std::env::var("LEAST_BENCH_OUT").unwrap_or_else(|_| "BENCH_engine.json".into());
-    std::fs::write(&path, report.render()).expect("write benchmark report");
-    println!("\nwrote {path}");
+    least_bench::emit_report(
+        "engine_throughput",
+        "BENCH_engine.json",
+        vec![
+            ("reps_best_of", Json::Int(REPS as i64)),
+            ("workloads", Json::Arr(entries)),
+        ],
+    );
 }

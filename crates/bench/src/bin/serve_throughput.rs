@@ -186,22 +186,21 @@ fn main() {
     table.print();
     println!("\nspeedup: {}", fmt(speedup));
 
-    let report = Json::obj(vec![
-        ("benchmark", Json::Str("serve_throughput".into())),
-        ("parallel_feature", Json::Bool(cfg!(feature = "parallel"))),
-        ("d", Json::Int(D as i64)),
-        ("clients", Json::Int(CLIENTS as i64)),
-        ("queries", Json::Int(total_queries as i64)),
-        ("roundtrip_bit_exact_csr", Json::Bool(exact_sparse)),
-        ("roundtrip_bit_exact_dense", Json::Bool(exact_dense)),
-        ("serial_seconds", Json::Num(serial)),
-        ("serial_qps", Json::Num(total_queries as f64 / serial)),
-        ("pooled_workers", Json::Int(pool as i64)),
-        ("pooled_seconds", Json::Num(pooled)),
-        ("pooled_qps", Json::Num(total_queries as f64 / pooled)),
-        ("speedup", Json::Num(speedup)),
-    ]);
-    let path = std::env::var("LEAST_BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".into());
-    std::fs::write(&path, report.render()).expect("write benchmark report");
-    println!("wrote {path}");
+    least_bench::emit_report(
+        "serve_throughput",
+        "BENCH_serve.json",
+        vec![
+            ("d", Json::Int(D as i64)),
+            ("clients", Json::Int(CLIENTS as i64)),
+            ("queries", Json::Int(total_queries as i64)),
+            ("roundtrip_bit_exact_csr", Json::Bool(exact_sparse)),
+            ("roundtrip_bit_exact_dense", Json::Bool(exact_dense)),
+            ("serial_seconds", Json::Num(serial)),
+            ("serial_qps", Json::Num(total_queries as f64 / serial)),
+            ("pooled_workers", Json::Int(pool as i64)),
+            ("pooled_seconds", Json::Num(pooled)),
+            ("pooled_qps", Json::Num(total_queries as f64 / pooled)),
+            ("speedup", Json::Num(speedup)),
+        ],
+    );
 }

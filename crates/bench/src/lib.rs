@@ -14,13 +14,16 @@
 //! | Design-choice ablations (k, α, θ, B) | `... --bin ablation` |
 //! | Constraint micro-costs (δ̄ vs h vs g) | `cargo bench -p least-bench` |
 //!
-//! Beyond the paper's figures, two systems benchmarks write
-//! machine-readable JSON artifacts:
+//! Beyond the paper's figures, three systems benchmarks write
+//! machine-readable JSON artifacts through the shared [`emit_report`]
+//! emitter (one schema: `benchmark`, `parallel_feature`, `threads`, then
+//! benchmark-specific fields; `LEAST_BENCH_OUT` overrides the path):
 //!
 //! | Systems benchmark | Target |
 //! |---|---|
 //! | Solver engine, serial vs parallel (`BENCH_engine.json`) | `... --bin engine_throughput` |
 //! | Serving layer over real TCP (`BENCH_serve.json`) | `... --bin serve_throughput` |
+//! | Out-of-core ingestion + Gram path (`BENCH_ingest.json`) | `... --bin ingest_throughput` |
 //!
 //! Every binary prints its seeds and parameters, accepts `--full` for
 //! paper-scale sweeps (the defaults are laptop-scale; EXPERIMENTS.md
@@ -30,10 +33,33 @@ pub mod report;
 pub mod timing;
 pub mod workloads;
 
+use timing::Json;
+
 pub use report::Table;
 pub use workloads::{benchmark_instance, BenchInstance};
 
 /// True when `--full` was passed: run at (closer to) paper scale.
 pub fn full_scale() -> bool {
     std::env::args().any(|a| a == "--full")
+}
+
+/// Write a systems-benchmark JSON artifact with the shared envelope
+/// (`benchmark` name, `parallel_feature`, worker-pool size) followed by
+/// the benchmark-specific `fields`, to `LEAST_BENCH_OUT` or
+/// `default_file`. Returns the path written.
+pub fn emit_report(benchmark: &str, default_file: &str, fields: Vec<(&str, Json)>) -> String {
+    let mut pairs = vec![
+        ("benchmark", Json::Str(benchmark.into())),
+        ("parallel_feature", Json::Bool(cfg!(feature = "parallel"))),
+        (
+            "threads",
+            Json::Int(least_linalg::par::max_threads() as i64),
+        ),
+    ];
+    pairs.extend(fields);
+    let report = Json::obj(pairs);
+    let path = std::env::var("LEAST_BENCH_OUT").unwrap_or_else(|_| default_file.into());
+    std::fs::write(&path, report.render()).expect("write benchmark report");
+    println!("\nwrote {path}");
+    path
 }

@@ -7,13 +7,13 @@
 //! (the shared [`crate::engine`] loop), so benchmark differences isolate
 //! exactly what the paper claims — the cost of the constraint.
 
-use crate::config::LeastConfig;
+use crate::config::{LeastConfig, LossPath};
 use crate::constraint::Acyclicity;
-use crate::engine::{self, Learned, LeastSolver, WeightBackend, H_SCC_CAP};
+use crate::engine::{self, Learned, LeastSolver, TrainSource, WeightBackend, H_SCC_CAP};
 use crate::loss::{batch_value_and_grad, GramLoss};
-use least_data::Dataset;
+use least_data::{Dataset, SufficientStats};
 use least_graph::{sparse_h, DiGraph};
-use least_linalg::{init, CsrMatrix, DenseMatrix, Result, Xoshiro256pp};
+use least_linalg::{init, CsrMatrix, DenseMatrix, LinalgError, Result, Xoshiro256pp};
 use least_optim::AdamState;
 
 /// Marker type selecting the dense backend.
@@ -61,10 +61,40 @@ impl LeastDense {
         data: &Dataset,
         constraint: &dyn Acyclicity,
     ) -> Result<LearnedDense> {
+        self.fit_source(&TrainSource::Data(data), constraint)
+    }
+
+    /// Fit from precomputed sufficient statistics with the paper's
+    /// spectral-bound constraint: the raw data never has to be in memory
+    /// (or exist at all — statistics are typically the product of a
+    /// one-pass out-of-core ingestion; see `least-ingest` / DESIGN.md §9).
+    /// Per-iteration cost is `O(d²)`, independent of `n`.
+    pub fn fit_stats(&self, stats: &SufficientStats) -> Result<LearnedDense> {
+        let cfg = self.config();
+        let bound = crate::SpectralBound::new(cfg.k, cfg.alpha)?;
+        self.fit_stats_with_constraint(stats, &bound)
+    }
+
+    /// [`Self::fit_stats`] with an arbitrary differentiable constraint.
+    /// (A `loss_path = Data` configuration is rejected: statistics carry
+    /// no raw data to evaluate a residual loss on.)
+    pub fn fit_stats_with_constraint(
+        &self,
+        stats: &SufficientStats,
+        constraint: &dyn Acyclicity,
+    ) -> Result<LearnedDense> {
+        self.fit_source(&TrainSource::Stats(stats), constraint)
+    }
+
+    fn fit_source(
+        &self,
+        source: &TrainSource<'_>,
+        constraint: &dyn Acyclicity,
+    ) -> Result<LearnedDense> {
         let cfg = self.config();
         let mut rng = Xoshiro256pp::new(cfg.seed);
-        let backend = DenseState::init(cfg, data, constraint, &mut rng)?;
-        engine::run(cfg, data, backend, &mut rng)
+        let backend = DenseState::init(cfg, source, constraint, &mut rng)?;
+        engine::run(cfg, source, backend, &mut rng)
     }
 }
 
@@ -81,24 +111,18 @@ struct DenseState<'a> {
 impl<'a> DenseState<'a> {
     fn init(
         cfg: &LeastConfig,
-        data: &Dataset,
+        source: &TrainSource<'_>,
         constraint: &'a dyn Acyclicity,
         rng: &mut Xoshiro256pp,
     ) -> Result<Self> {
-        let d = data.num_vars();
+        let d = source.num_vars();
         let mut w = match cfg.init_density {
             Some(zeta) => init::glorot_sparse(d, zeta, rng)?.to_dense(),
             None => init::glorot_dense(d, rng),
         };
         w.zero_diagonal();
 
-        // Full-batch runs amortize the Gram matrix across every iteration.
-        let gram = match cfg.batch_size {
-            None => Some(GramLoss::new(data.matrix(), cfg.lambda)?),
-            Some(b) if b >= data.num_samples() => Some(GramLoss::new(data.matrix(), cfg.lambda)?),
-            Some(_) => None,
-        };
-
+        let gram = select_gram(cfg, source)?;
         Ok(Self {
             w,
             gram,
@@ -106,6 +130,28 @@ impl<'a> DenseState<'a> {
             lambda: cfg.lambda,
             batch_size: cfg.batch_size,
         })
+    }
+}
+
+/// Decide whether the dense backend trains from a precomputed Gram
+/// matrix: statistics sources always do; data sources follow
+/// [`LossPath`], with `Auto` reproducing the historical dense behavior
+/// (full-batch runs amortize `XᵀX` across every iteration, mini-batch
+/// runs stay on the residual path).
+fn select_gram(cfg: &LeastConfig, source: &TrainSource<'_>) -> Result<Option<GramLoss>> {
+    match (source, cfg.loss_path) {
+        (TrainSource::Stats(_), LossPath::Data) => Err(LinalgError::InvalidArgument(
+            "loss_path = Data is incompatible with a statistics source".into(),
+        )),
+        (TrainSource::Stats(stats), _) => Ok(Some(GramLoss::from_stats(stats, cfg.lambda)?)),
+        (TrainSource::Data(_), LossPath::Data) => Ok(None),
+        (TrainSource::Data(data), LossPath::Gram) => {
+            Ok(Some(GramLoss::new(data.matrix(), cfg.lambda)?))
+        }
+        (TrainSource::Data(data), LossPath::Auto) => match cfg.batch_size {
+            Some(b) if b < data.num_samples() => Ok(None),
+            _ => Ok(Some(GramLoss::new(data.matrix(), cfg.lambda)?)),
+        },
     }
 }
 
@@ -127,15 +173,19 @@ impl WeightBackend for DenseState<'_> {
 
     fn loss_value_and_grad(
         &mut self,
-        data: &Dataset,
+        source: &TrainSource<'_>,
         rng: &mut Xoshiro256pp,
     ) -> Result<(f64, DenseMatrix)> {
-        match &self.gram {
-            Some(g) => g.value_and_grad(&self.w),
-            None => {
+        match (&self.gram, source) {
+            (Some(g), _) => g.value_and_grad(&self.w),
+            (None, TrainSource::Data(data)) => {
                 let batch = data.sample_batch(self.batch_size.unwrap_or(data.num_samples()), rng);
                 batch_value_and_grad(&batch, &self.w, self.lambda)
             }
+            // Unreachable: init builds a GramLoss for every stats source.
+            (None, TrainSource::Stats(_)) => Err(LinalgError::InvalidArgument(
+                "statistics source without a Gram loss".into(),
+            )),
         }
     }
 
@@ -293,5 +343,54 @@ mod tests {
         let a = solver.fit(&data).unwrap();
         let b = solver.fit(&data).unwrap();
         assert!(a.weights.approx_eq(&b.weights, 0.0));
+    }
+
+    #[test]
+    fn stats_fit_is_bit_identical_to_full_batch_data_fit() {
+        // Full-batch Auto uses GramLoss::new(X); fit_stats adopts the
+        // identical t_matmul product, so the trajectories coincide exactly.
+        use least_data::{Preprocess, SufficientStats};
+        let (_, data) = chain_dataset(5, 300, 308);
+        let solver = LeastDense::new(fast_config()).unwrap();
+        let from_data = solver.fit(&data).unwrap();
+        let stats = SufficientStats::from_dataset(&data, Preprocess::Raw).unwrap();
+        let from_stats = solver.fit_stats(&stats).unwrap();
+        assert!(from_data.weights.approx_eq(&from_stats.weights, 0.0));
+        assert_eq!(from_data.rounds, from_stats.rounds);
+    }
+
+    #[test]
+    fn forced_data_path_still_recovers_and_rejects_stats() {
+        use crate::config::LossPath;
+        use least_data::{Preprocess, SufficientStats};
+        let (truth, data) = chain_dataset(5, 600, 309);
+        let mut cfg = fast_config();
+        cfg.loss_path = LossPath::Data;
+        let solver = LeastDense::new(cfg).unwrap();
+        let result = solver.fit(&data).unwrap();
+        let (points, best) = best_threshold(&truth, &result.weights, &paper_tau_grid());
+        assert!(
+            points[best].metrics.f1 > 0.85,
+            "F1 {}",
+            points[best].metrics.f1
+        );
+        // A raw-data-only config cannot honor a statistics source.
+        let stats = SufficientStats::from_dataset(&data, Preprocess::Raw).unwrap();
+        assert!(solver.fit_stats(&stats).is_err());
+    }
+
+    #[test]
+    fn gram_path_with_minibatch_config_trains_full_batch() {
+        use crate::config::LossPath;
+        let (_, data) = chain_dataset(5, 300, 310);
+        let mut cfg = fast_config();
+        cfg.batch_size = Some(32); // ignored by the Gram path
+        cfg.loss_path = LossPath::Gram;
+        let solver = LeastDense::new(cfg).unwrap();
+        let a = solver.fit(&data).unwrap();
+        // Gram training is deterministic full-batch: rerun is identical.
+        let b = solver.fit(&data).unwrap();
+        assert!(a.weights.approx_eq(&b.weights, 0.0));
+        assert!(a.final_constraint < 1e-2);
     }
 }

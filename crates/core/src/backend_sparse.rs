@@ -19,13 +19,13 @@
 //! measure constraint convergence, not recovery, in this regime.
 
 use crate::bound::SpectralBound;
-use crate::config::LeastConfig;
-use crate::engine::{self, Learned, LeastSolver, WeightBackend, H_SCC_CAP};
+use crate::config::{LeastConfig, LossPath};
+use crate::engine::{self, Learned, LeastSolver, TrainSource, WeightBackend, H_SCC_CAP};
 use crate::grad::backward_sparse;
-use crate::loss::sparse_value_and_grad;
-use least_data::Dataset;
+use crate::loss::{sparse_value_and_grad, GramLoss};
+use least_data::{Dataset, SufficientStats};
 use least_graph::{sparse_h, DiGraph};
-use least_linalg::{init, CsrMatrix, Result, Xoshiro256pp};
+use least_linalg::{init, CsrMatrix, LinalgError, Result, Xoshiro256pp};
 use least_optim::AdamState;
 
 /// Marker type selecting the sparse backend.
@@ -55,10 +55,25 @@ impl LeastSparse {
 
     /// Fit the spectral-bound LEAST model on the dataset.
     pub fn fit(&self, data: &Dataset) -> Result<LearnedSparse> {
+        self.fit_source(&TrainSource::Data(data))
+    }
+
+    /// Fit from precomputed sufficient statistics: per-iteration cost
+    /// `O(Σ_slots nnz(col))` on the support, independent of `n` (see
+    /// DESIGN.md §9). Note the Gram matrix is dense `d×d`, so this path
+    /// suits the "huge `n`, moderate `d`" regime; at the paper's 10⁵-node
+    /// scale the support-restricted mini-batch path remains the right tool.
+    /// (A `loss_path = Data` configuration is rejected: statistics carry
+    /// no raw data to evaluate a residual loss on.)
+    pub fn fit_stats(&self, stats: &SufficientStats) -> Result<LearnedSparse> {
+        self.fit_source(&TrainSource::Stats(stats))
+    }
+
+    fn fit_source(&self, source: &TrainSource<'_>) -> Result<LearnedSparse> {
         let cfg = self.config();
         let mut rng = Xoshiro256pp::new(cfg.seed);
-        let backend = SparseState::init(cfg, data, &mut rng)?;
-        engine::run(cfg, data, backend, &mut rng)
+        let backend = SparseState::init(cfg, source, &mut rng)?;
+        engine::run(cfg, source, backend, &mut rng)
     }
 }
 
@@ -68,18 +83,37 @@ impl LeastSparse {
 struct SparseState {
     w: CsrMatrix,
     bound: SpectralBound,
+    /// Precomputed second-moment loss (statistics sources and
+    /// `LossPath::Gram`); `None` = support-restricted residual path.
+    gram: Option<GramLoss>,
     lambda: f64,
     batch_size: Option<usize>,
 }
 
 impl SparseState {
-    fn init(cfg: &LeastConfig, data: &Dataset, rng: &mut Xoshiro256pp) -> Result<Self> {
+    fn init(cfg: &LeastConfig, source: &TrainSource<'_>, rng: &mut Xoshiro256pp) -> Result<Self> {
         let bound = SpectralBound::new(cfg.k, cfg.alpha)?;
         let zeta = cfg.init_density.expect("validated in new()");
-        let w = init::glorot_sparse(data.num_vars(), zeta, rng)?;
+        let w = init::glorot_sparse(source.num_vars(), zeta, rng)?;
+        // Unlike the dense backend, `Auto` on a data source keeps the
+        // residual path even for full batches: the sparse solver exists
+        // for the `d` regime where a dense d×d Gram no longer fits.
+        let gram = match (source, cfg.loss_path) {
+            (TrainSource::Stats(_), LossPath::Data) => {
+                return Err(LinalgError::InvalidArgument(
+                    "loss_path = Data is incompatible with a statistics source".into(),
+                ))
+            }
+            (TrainSource::Stats(stats), _) => Some(GramLoss::from_stats(stats, cfg.lambda)?),
+            (TrainSource::Data(data), LossPath::Gram) => {
+                Some(GramLoss::new(data.matrix(), cfg.lambda)?)
+            }
+            (TrainSource::Data(_), _) => None,
+        };
         Ok(Self {
             w,
             bound,
+            gram,
             lambda: cfg.lambda,
             batch_size: cfg.batch_size,
         })
@@ -106,11 +140,20 @@ impl WeightBackend for SparseState {
 
     fn loss_value_and_grad(
         &mut self,
-        data: &Dataset,
+        source: &TrainSource<'_>,
         rng: &mut Xoshiro256pp,
     ) -> Result<(f64, Vec<f64>)> {
-        let batch = data.sample_batch(self.batch_size.unwrap_or(data.num_samples()), rng);
-        sparse_value_and_grad(&batch, &self.w, self.lambda)
+        match (&self.gram, source) {
+            (Some(g), _) => g.sparse_value_and_grad(&self.w),
+            (None, TrainSource::Data(data)) => {
+                let batch = data.sample_batch(self.batch_size.unwrap_or(data.num_samples()), rng);
+                sparse_value_and_grad(&batch, &self.w, self.lambda)
+            }
+            // Unreachable: init builds a GramLoss for every stats source.
+            (None, TrainSource::Stats(_)) => Err(LinalgError::InvalidArgument(
+                "statistics source without a Gram loss".into(),
+            )),
+        }
     }
 
     fn add_scaled(grad: &mut Vec<f64>, coeff: f64, other: &Vec<f64>) -> Result<()> {
@@ -231,5 +274,33 @@ mod tests {
         let a = solver.fit(&data).unwrap();
         let b = solver.fit(&data).unwrap();
         assert!(a.weights.approx_eq(&b.weights, 0.0));
+    }
+
+    #[test]
+    fn stats_fit_converges_and_is_deterministic() {
+        use least_data::{Preprocess, SufficientStats};
+        let data = er_dataset(40, 250, 406);
+        let stats = SufficientStats::from_dataset(&data, Preprocess::Raw).unwrap();
+        let solver = LeastSparse::new(sparse_config(0.08)).unwrap();
+        let a = solver.fit_stats(&stats).unwrap();
+        assert!(
+            a.final_constraint < 1e-4,
+            "constraint {}",
+            a.final_constraint
+        );
+        assert!(a.graph(0.3).is_dag());
+        let b = solver.fit_stats(&stats).unwrap();
+        assert!(a.weights.approx_eq(&b.weights, 0.0));
+    }
+
+    #[test]
+    fn stats_fit_rejects_forced_data_path() {
+        use crate::config::LossPath;
+        use least_data::{Preprocess, SufficientStats};
+        let data = er_dataset(20, 100, 407);
+        let stats = SufficientStats::from_dataset(&data, Preprocess::Raw).unwrap();
+        let mut cfg = sparse_config(0.1);
+        cfg.loss_path = LossPath::Data;
+        assert!(LeastSparse::new(cfg).unwrap().fit_stats(&stats).is_err());
     }
 }

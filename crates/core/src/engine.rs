@@ -21,11 +21,45 @@
 
 use crate::config::LeastConfig;
 use crate::trace::{ConvergenceTrace, TracePoint};
-use least_data::Dataset;
+use least_data::{Dataset, SufficientStats};
 use least_linalg::{LinalgError, Result, Xoshiro256pp};
 use least_optim::{AdamState, AugLagState};
 use std::marker::PhantomData;
 use std::time::Instant;
+
+/// What the training loss is evaluated against: either the raw sample
+/// matrix, or a precomputed sufficient-statistics summary (DESIGN.md §9).
+///
+/// The Gram variant is what makes the engine's per-iteration cost
+/// independent of `n`: an out-of-core ingestion pass (see `least-ingest`)
+/// reduces a dataset of any length to `O(d²)` state, and the
+/// `fit_stats` entry points train from that summary alone — the raw data
+/// never has to exist in memory (or at all, once statistics are archived).
+#[derive(Debug, Clone, Copy)]
+pub enum TrainSource<'a> {
+    /// Raw `n × d` samples (mini-batchable).
+    Data(&'a Dataset),
+    /// Second-moment summary `G = XᵀX`, means/scales, and `n`.
+    Stats(&'a SufficientStats),
+}
+
+impl TrainSource<'_> {
+    /// Number of variables `d`.
+    pub fn num_vars(&self) -> usize {
+        match self {
+            TrainSource::Data(d) => d.num_vars(),
+            TrainSource::Stats(s) => s.dim(),
+        }
+    }
+
+    /// Number of samples `n` the source summarizes.
+    pub fn num_samples(&self) -> u64 {
+        match self {
+            TrainSource::Data(d) => d.num_samples() as u64,
+            TrainSource::Stats(s) => s.n,
+        }
+    }
+}
 
 /// SCC dense-submatrix cap used when evaluating exact `h` on learned
 /// matrices (components larger than this fall back to an upper bound —
@@ -64,11 +98,12 @@ pub trait WeightBackend {
     /// for backends that skip the backward pass).
     fn constraint_value(&mut self) -> Result<f64>;
 
-    /// Training-loss value and gradient. Mini-batch backends draw from
-    /// `rng`; full-batch backends must not touch it.
+    /// Training-loss value and gradient against the active
+    /// [`TrainSource`]. Mini-batch backends draw from `rng`; full-batch
+    /// and Gram-path backends must not touch it.
     fn loss_value_and_grad(
         &mut self,
-        data: &Dataset,
+        source: &TrainSource<'_>,
         rng: &mut Xoshiro256pp,
     ) -> Result<(f64, Self::Grad)>;
 
@@ -166,7 +201,7 @@ pub(crate) fn validate_config(config: &LeastConfig, requires_density: bool) -> R
 /// used to duplicate.
 pub(crate) fn run<B: WeightBackend>(
     cfg: &LeastConfig,
-    data: &Dataset,
+    source: &TrainSource<'_>,
     mut backend: B,
     rng: &mut Xoshiro256pp,
 ) -> Result<Learned<B::Weights>> {
@@ -186,7 +221,7 @@ pub(crate) fn run<B: WeightBackend>(
 
         for _it in 0..cfg.max_inner {
             let (c, c_grad) = backend.constraint_value_and_grad()?;
-            let (loss_val, mut grad) = backend.loss_value_and_grad(data, rng)?;
+            let (loss_val, mut grad) = backend.loss_value_and_grad(source, rng)?;
             last_loss = loss_val;
             let obj = loss_val + auglag.penalty(c);
             B::add_scaled(&mut grad, auglag.penalty_grad_coeff(c), &c_grad)?;

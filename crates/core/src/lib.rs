@@ -41,9 +41,10 @@ pub mod trace;
 pub use backend_dense::{Dense, LearnedDense, LeastDense};
 pub use backend_sparse::{LearnedSparse, LeastSparse, Sparse};
 pub use bound::{SpectralBound, SpectralBoundForward};
-pub use config::LeastConfig;
+pub use config::{LeastConfig, LossPath};
 pub use constraint::Acyclicity;
-pub use engine::{Learned, LeastSolver, WeightBackend};
+pub use engine::{Learned, LeastSolver, TrainSource, WeightBackend};
+pub use loss::GramLoss;
 pub use sem::FittedSem;
 pub use stability::{bootstrap_edges, BootstrapConfig, EdgeConfidence};
 pub use trace::{ConvergenceTrace, TracePoint};

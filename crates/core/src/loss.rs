@@ -13,7 +13,8 @@
 //! The L1 term uses the subgradient `λ·sign(W)` (zero at zero), matching
 //! what TensorFlow autodiff gives the paper's implementation.
 
-use least_linalg::{CsrMatrix, DenseMatrix, LinalgError, Result};
+use least_data::SufficientStats;
+use least_linalg::{par, CsrMatrix, DenseMatrix, LinalgError, Result};
 
 /// Full-batch Gram-matrix loss state for a fixed dataset.
 #[derive(Debug, Clone)]
@@ -37,6 +38,26 @@ impl GramLoss {
             gram,
             trace,
             n: x.rows(),
+            lambda,
+        })
+    }
+
+    /// Adopt a precomputed second-moment summary (the out-of-core
+    /// ingestion product, DESIGN.md §9): no `n`-sized work ever happens —
+    /// not even once.
+    pub fn from_stats(stats: &SufficientStats, lambda: f64) -> Result<Self> {
+        let n = usize::try_from(stats.n).map_err(|_| {
+            LinalgError::InvalidArgument(format!(
+                "sample count {} exceeds the platform word size",
+                stats.n
+            ))
+        })?;
+        let gram = stats.gram.clone();
+        let trace = gram.trace()?;
+        Ok(Self {
+            gram,
+            trace,
+            n,
             lambda,
         })
     }
@@ -72,7 +93,77 @@ impl GramLoss {
         add_l1_subgradient(&mut grad, w, self.lambda);
         Ok((smooth + self.lambda * w.l1_norm(), grad))
     }
+
+    /// Loss and support-restricted gradient at a CSR iterate — the sparse
+    /// backend's Gram path. For each stored slot `(j, l)`,
+    /// `(G·W)[j,l] = Σ_m G[j,m]·W[m,l]` walks column `l` of `W`, so the
+    /// cost is `O(Σ_slots nnz(col))` — independent of `n`, and far below
+    /// the dense `O(d²·nnz)` as long as the support is sparse.
+    ///
+    /// Parallelized over the CSR row blocks (each slot's gradient is
+    /// computed independently, so gradients are bit-identical at any
+    /// thread count; the scalar loss terms are range-order reductions with
+    /// the usual last-ulp caveat from `least_linalg::par`).
+    pub fn sparse_value_and_grad(&self, w: &CsrMatrix) -> Result<(f64, Vec<f64>)> {
+        let d = w.rows();
+        if self.gram.rows() != d || w.cols() != d {
+            return Err(LinalgError::ShapeMismatch {
+                found: w.shape(),
+                expected: self.gram.shape(),
+            });
+        }
+        // Column lists of W, rebuilt per call: thresholding compacts the
+        // pattern between iterations, and the build is O(nnz) — noise
+        // next to the slot dot products.
+        let mut cols: Vec<Vec<(u32, f64)>> = vec![Vec::new(); d];
+        for (m, l, v) in w.iter() {
+            cols[l].push((m as u32, v));
+        }
+        let row_ptr = w.row_pointers();
+        let col_idx = w.col_indices();
+        let vals = w.values();
+        let nf = self.n as f64;
+
+        let partials = par::map_ranges(d, GRAM_SPARSE_ROW_GRAIN, |rows| {
+            let mut wg = 0.0;
+            let mut wm = 0.0;
+            let span = row_ptr[rows.end] as usize - row_ptr[rows.start] as usize;
+            let mut grad = Vec::with_capacity(span);
+            for j in rows {
+                let g_row = self.gram.row(j);
+                for slot in row_ptr[j] as usize..row_ptr[j + 1] as usize {
+                    let l = col_idx[slot] as usize;
+                    let mut m = 0.0;
+                    for &(r, v) in &cols[l] {
+                        m += g_row[r as usize] * v;
+                    }
+                    wg += vals[slot] * g_row[l];
+                    wm += vals[slot] * m;
+                    grad.push(2.0 / nf * (m - g_row[l]));
+                }
+            }
+            (wg, wm, grad)
+        });
+
+        let mut wg = 0.0;
+        let mut wm = 0.0;
+        let mut grad = Vec::with_capacity(w.nnz());
+        for (pg, pm, pgrad) in partials {
+            wg += pg;
+            wm += pm;
+            grad.extend(pgrad);
+        }
+        let smooth = (self.trace - 2.0 * wg + wm) / nf;
+        let l1: f64 = vals.iter().map(|v| v.abs()).sum();
+        for (g, &v) in grad.iter_mut().zip(vals) {
+            *g += self.lambda * sign(v);
+        }
+        Ok((smooth + self.lambda * l1, grad))
+    }
 }
+
+/// Minimum CSR rows per worker in the sparse Gram-loss path.
+const GRAM_SPARSE_ROW_GRAIN: usize = 16;
 
 /// Mini-batch dense loss: `R = X_B·W − X_B`, `∇ = (2/B)·X_BᵀR + λ·sign`.
 pub fn batch_value_and_grad(
@@ -233,6 +324,69 @@ mod tests {
         let (v2, g2) = batch_value_and_grad(&x, &w, lambda).unwrap();
         assert!((v1 - v2).abs() < 1e-9 * v1.max(1.0), "{v1} vs {v2}");
         assert!(g1.approx_eq(&g2, 1e-9));
+    }
+
+    #[test]
+    fn gram_from_stats_matches_gram_from_data() {
+        use least_data::{Dataset, Preprocess};
+        let x = random_data(35, 7, 214);
+        let w = random_w(7, 215);
+        let lambda = 0.25;
+        let direct = GramLoss::new(&x, lambda).unwrap();
+        let stats = SufficientStats::from_dataset(&Dataset::new(x), Preprocess::Raw).unwrap();
+        let via_stats = GramLoss::from_stats(&stats, lambda).unwrap();
+        let (v1, g1) = direct.value_and_grad(&w).unwrap();
+        let (v2, g2) = via_stats.value_and_grad(&w).unwrap();
+        // Same t_matmul product on both sides: bit-identical.
+        assert_eq!(v1.to_bits(), v2.to_bits());
+        assert!(g1.approx_eq(&g2, 0.0));
+    }
+
+    #[test]
+    fn sparse_gram_matches_full_batch_residual_path() {
+        let x = random_data(50, 8, 216);
+        let wd = random_w(8, 217);
+        let ws = CsrMatrix::from_dense(&wd, 0.0);
+        let lambda = 0.15;
+        let gram = GramLoss::new(&x, lambda).unwrap();
+        let (vg, gg) = gram.sparse_value_and_grad(&ws).unwrap();
+        let (vr, gr) = sparse_value_and_grad(&x, &ws, lambda).unwrap();
+        assert!((vg - vr).abs() < 1e-9 * vr.max(1.0), "{vg} vs {vr}");
+        for ((slot, (i, j, _)), (&a, &b)) in ws.iter().enumerate().zip(gg.iter().zip(&gr)) {
+            assert!(
+                (a - b).abs() < 1e-9 * (1.0 + b.abs()),
+                "slot {slot} ({i},{j}): gram {a} vs residual {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_gram_matches_dense_gram_on_support() {
+        let x = random_data(45, 6, 218);
+        let wd = random_w(6, 219);
+        let ws = CsrMatrix::from_dense(&wd, 0.0);
+        let gram = GramLoss::new(&x, 0.3).unwrap();
+        let (vd, gd) = gram.value_and_grad(&wd).unwrap();
+        let (vs, gs) = gram.sparse_value_and_grad(&ws).unwrap();
+        assert!((vd - vs).abs() < 1e-9 * vd.max(1.0));
+        for ((i, j, _), &g) in ws.iter().zip(&gs) {
+            assert!(
+                (gd[(i, j)] - g).abs() < 1e-9 * (1.0 + gd[(i, j)].abs()),
+                "({i},{j}): dense {} sparse {g}",
+                gd[(i, j)]
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_gram_handles_empty_pattern_and_shape_mismatch() {
+        let x = random_data(12, 4, 220);
+        let gram = GramLoss::new(&x, 0.1).unwrap();
+        let (v, g) = gram.sparse_value_and_grad(&CsrMatrix::zeros(4, 4)).unwrap();
+        assert!(g.is_empty());
+        let expected = x.frobenius_norm().powi(2) / 12.0;
+        assert!((v - expected).abs() < 1e-9 * expected);
+        assert!(gram.sparse_value_and_grad(&CsrMatrix::zeros(3, 3)).is_err());
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! Xᵥ = Σ_{u ∈ pa(v)} W[u,v]·X_u + nᵥ,   nᵥ ~ N(0, σᵥ²)
 //! ```
 
-use least_data::Dataset;
+use least_data::{Dataset, SufficientStats};
 use least_graph::DiGraph;
 use least_linalg::{lu::LuFactorization, DenseMatrix, LinalgError, Result, Xoshiro256pp};
 
@@ -97,6 +97,85 @@ impl FittedSem {
                 ss += r * r;
             }
             noise_vars[v] = (ss / n as f64).max(1e-12);
+        }
+        Ok(Self {
+            structure: structure.clone(),
+            weights,
+            intercepts,
+            noise_vars,
+            order,
+        })
+    }
+
+    /// Fit by per-node OLS from sufficient statistics alone — the
+    /// out-of-core companion of [`Self::fit`]: after a one-pass ingestion
+    /// (see `least-ingest`), structure learning *and* parameter fitting
+    /// both run without the data, so the full
+    /// CSV → statistics → structure → servable-model pipeline is `O(d²)`
+    /// in memory regardless of `n`.
+    ///
+    /// The normal equations for node `v` with parent set `P` need only
+    /// raw second moments and column sums, both of which unfold from any
+    /// [`least_data::Preprocess`] the statistics were finalized with:
+    ///
+    /// ```text
+    /// [ n      s_Pᵀ  ] [β₀]   [ s_v    ]
+    /// [ s_P    G_PP  ] [β ] = [ G_Pv   ],   s = n·μ,  G = XᵀX
+    /// RSS = G_vv − β̂ᵀ·rhs,   σ̂ᵥ² = RSS / n
+    /// ```
+    pub fn fit_from_stats(structure: &DiGraph, stats: &SufficientStats) -> Result<Self> {
+        let d = structure.node_count();
+        if stats.dim() != d {
+            return Err(LinalgError::ShapeMismatch {
+                found: (stats.dim(), stats.dim()),
+                expected: (d, d),
+            });
+        }
+        let order = structure
+            .topological_sort()
+            .ok_or_else(|| LinalgError::InvalidArgument("structure has a cycle".into()))?;
+        if stats.n < 2 {
+            return Err(LinalgError::InvalidArgument(
+                "need at least 2 samples".into(),
+            ));
+        }
+        let n = stats.n as f64;
+        let reversed = structure.reversed();
+        let mut weights = DenseMatrix::zeros(d, d);
+        let mut intercepts = vec![0.0; d];
+        let mut noise_vars = vec![0.0; d];
+
+        for v in 0..d {
+            let parents: Vec<usize> = reversed.neighbors(v).iter().map(|&p| p as usize).collect();
+            let p = parents.len();
+            // Normal equations over the design [1, X_P], assembled from
+            // the unfolded raw moments.
+            let mut gram = DenseMatrix::zeros(p + 1, p + 1);
+            let mut rhs = vec![0.0; p + 1];
+            gram[(0, 0)] = n;
+            rhs[0] = n * stats.means[v];
+            for (a, &u) in parents.iter().enumerate() {
+                let su = n * stats.means[u];
+                gram[(0, a + 1)] = su;
+                gram[(a + 1, 0)] = su;
+                rhs[a + 1] = stats.raw_second_moment(u, v);
+                for (b, &t) in parents.iter().enumerate() {
+                    gram[(a + 1, b + 1)] = stats.raw_second_moment(u, t);
+                }
+            }
+            // The same tiny ridge as the data path, for near-collinear
+            // parents.
+            for a in 0..=p {
+                gram[(a, a)] += 1e-9 * n;
+            }
+            let beta = LuFactorization::new(&gram)?.solve_vec(&rhs)?;
+            intercepts[v] = beta[0];
+            for (idx, &u) in parents.iter().enumerate() {
+                weights[(u, v)] = beta[idx + 1];
+            }
+            let explained: f64 = beta.iter().zip(&rhs).map(|(&b, &r)| b * r).sum();
+            let rss = stats.raw_second_moment(v, v) - explained;
+            noise_vars[v] = (rss / n).max(1e-12);
         }
         Ok(Self {
             structure: structure.clone(),
@@ -216,6 +295,48 @@ mod tests {
         for &var in sem.noise_variances() {
             assert!((var - 1.0).abs() < 0.1, "variance {var}");
         }
+    }
+
+    #[test]
+    fn stats_fit_matches_data_fit_under_every_preprocess() {
+        use least_data::{Preprocess, SufficientStats};
+        let (g, _, data) = ground_truth(906);
+        let from_data = FittedSem::fit(&g, &data).unwrap();
+        for preprocess in [Preprocess::Raw, Preprocess::Center, Preprocess::Standardize] {
+            let stats = SufficientStats::from_dataset(&data, preprocess).unwrap();
+            let from_stats = FittedSem::fit_from_stats(&g, &stats).unwrap();
+            let wd = from_data
+                .weights()
+                .max_abs_diff(from_stats.weights())
+                .unwrap();
+            assert!(wd < 1e-6, "{preprocess:?}: weight drift {wd}");
+            for (a, b) in from_data.intercepts().iter().zip(from_stats.intercepts()) {
+                assert!((a - b).abs() < 1e-6, "{preprocess:?}: intercept {a} vs {b}");
+            }
+            for (a, b) in from_data
+                .noise_variances()
+                .iter()
+                .zip(from_stats.noise_variances())
+            {
+                assert!((a - b).abs() < 1e-6, "{preprocess:?}: variance {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn stats_fit_validates_inputs() {
+        use least_data::{Preprocess, SufficientStats};
+        let (g, _, data) = ground_truth(907);
+        let stats = SufficientStats::from_dataset(&data, Preprocess::Raw).unwrap();
+        // Dimension mismatch.
+        assert!(FittedSem::fit_from_stats(&DiGraph::new(3), &stats).is_err());
+        // Cycle.
+        let cyclic = DiGraph::from_edges(4, &[(0, 1), (1, 0)]);
+        assert!(FittedSem::fit_from_stats(&cyclic, &stats).is_err());
+        // Too few samples.
+        let mut tiny = stats.clone();
+        tiny.n = 1;
+        assert!(FittedSem::fit_from_stats(&g, &tiny).is_err());
     }
 
     #[test]

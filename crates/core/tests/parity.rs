@@ -19,7 +19,7 @@
 //! long-horizon agreement is not a property either implementation has.
 
 use least_core::{LeastConfig, LeastDense, LeastSparse};
-use least_data::{sample_lsem, Dataset, NoiseModel};
+use least_data::{sample_lsem, Dataset, NoiseModel, Preprocess, SufficientStats};
 use least_graph::{weighted_adjacency_dense, DiGraph, WeightRange};
 use least_linalg::Xoshiro256pp;
 
@@ -98,6 +98,67 @@ fn dense_and_sparse_backends_agree() {
         .max_abs_diff(&sparse.weights.to_dense())
         .unwrap();
     assert!(max_diff < 1e-9, "weight drift {max_diff}");
+}
+
+/// Gram-path / data-path parity on the dense backend. Full-batch `Auto`
+/// already trains from `XᵀX`; `fit_stats` adopts the *same* `t_matmul`
+/// product, so the trajectories are identical and the learned adjacency
+/// matches exactly — the out-of-core entry point changes where the
+/// statistics come from, not what the optimizer computes.
+#[test]
+fn dense_gram_path_matches_data_path() {
+    let (_, data) = chain_dataset(6, 800, 0xE0E2);
+    let mut cfg = parity_config();
+    cfg.init_density = None;
+    cfg.batch_size = None; // full batch: data path = Gram specialization
+
+    let solver = LeastDense::new(cfg).unwrap();
+    let from_data = solver.fit(&data).unwrap();
+    let stats = SufficientStats::from_dataset(&data, Preprocess::Raw).unwrap();
+    let from_stats = solver.fit_stats(&stats).unwrap();
+
+    let tau = 0.3;
+    let edges_d: Vec<(usize, usize)> = from_data.graph(tau).edges().collect();
+    let edges_s: Vec<(usize, usize)> = from_stats.graph(tau).edges().collect();
+    assert_eq!(edges_d, edges_s, "thresholded structures diverged");
+    let drift = from_data.weights.max_abs_diff(&from_stats.weights).unwrap();
+    assert!(drift < 1e-6, "weight drift {drift}");
+}
+
+/// Gram-path / data-path parity on the sparse backend, over the same
+/// short horizon as the dense/sparse parity test above: the full-batch
+/// residual loss and the Gram loss are the same mathematics in a
+/// different summation order, so the two trajectories agree to the
+/// compounded-rounding tolerance — and the support is pinned by the
+/// shared seed (θ = 0, no compaction), so the structures are identical.
+#[test]
+fn sparse_gram_path_matches_data_path() {
+    let (_, data) = chain_dataset(6, 800, 0xE0E3);
+    let mut cfg = parity_config();
+    cfg.batch_size = None; // full batch: both paths see every sample
+
+    let solver = LeastSparse::new(cfg).unwrap();
+    let from_data = solver.fit(&data).unwrap();
+    let stats = SufficientStats::from_dataset(&data, Preprocess::Raw).unwrap();
+    let from_stats = solver.fit_stats(&stats).unwrap();
+
+    // Identical support (same seed draws the same ζ = 1 pattern).
+    assert_eq!(
+        from_data.weights.col_indices(),
+        from_stats.weights.col_indices(),
+        "supports diverged"
+    );
+    let drift = from_data
+        .weights
+        .to_dense()
+        .max_abs_diff(&from_stats.weights.to_dense())
+        .unwrap();
+    assert!(drift < 1e-6, "weight drift {drift}");
+
+    let tau = 0.3;
+    let edges_d: Vec<(usize, usize)> = from_data.graph(tau).edges().collect();
+    let edges_s: Vec<(usize, usize)> = from_stats.graph(tau).edges().collect();
+    assert_eq!(edges_d, edges_s, "thresholded structures diverged");
 }
 
 #[test]

@@ -1,17 +1,40 @@
 //! Sample-matrix container with standardization and mini-batching.
 
-use least_linalg::{DenseMatrix, Xoshiro256pp};
+use least_linalg::{DenseMatrix, LinalgError, Result, Xoshiro256pp};
 
 /// An `n × d` dataset of i.i.d. observations, one row per sample.
 #[derive(Debug, Clone)]
 pub struct Dataset {
     x: DenseMatrix,
+    /// Optional per-column variable names (CSV headers, schema labels).
+    names: Option<Vec<String>>,
 }
 
 impl Dataset {
     /// Wrap a sample matrix.
     pub fn new(x: DenseMatrix) -> Self {
-        Self { x }
+        Self { x, names: None }
+    }
+
+    /// Wrap a sample matrix with per-column variable names (one per
+    /// column; exported as the CSV header by `least_data::io`).
+    pub fn with_names(x: DenseMatrix, names: Vec<String>) -> Result<Self> {
+        if names.len() != x.cols() {
+            return Err(LinalgError::InvalidArgument(format!(
+                "{} column names for a {}-column dataset",
+                names.len(),
+                x.cols()
+            )));
+        }
+        Ok(Self {
+            x,
+            names: Some(names),
+        })
+    }
+
+    /// Per-column variable names, when the dataset carries them.
+    pub fn column_names(&self) -> Option<&[String]> {
+        self.names.as_deref()
     }
 
     /// Number of samples `n`.
@@ -181,6 +204,19 @@ mod tests {
         assert!(b.approx_eq(ds.matrix(), 0.0));
         let b = ds.sample_batch(10, &mut rng);
         assert!(b.approx_eq(ds.matrix(), 0.0));
+    }
+
+    #[test]
+    fn column_names_round_trip_and_validate() {
+        let m = DenseMatrix::zeros(2, 3);
+        let named =
+            Dataset::with_names(m.clone(), vec!["a".into(), "b".into(), "c".into()]).unwrap();
+        assert_eq!(
+            named.column_names().unwrap(),
+            &["a".to_string(), "b".into(), "c".into()]
+        );
+        assert!(Dataset::new(m.clone()).column_names().is_none());
+        assert!(Dataset::with_names(m, vec!["only".into()]).is_err());
     }
 
     #[test]

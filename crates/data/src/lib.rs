@@ -7,12 +7,22 @@
 //! * [`lsem`] — forward sampling of a linear structural equation model
 //!   `Xᵢ = wᵢᵀX + nᵢ` in topological order (exact, `O(n·nnz)`);
 //! * [`dataset`] — the sample-matrix container with standardization and the
-//!   mini-batching used by the solver's `INNER` procedure (Fig. 3 line 5).
+//!   mini-batching used by the solver's `INNER` procedure (Fig. 3 line 5);
+//! * [`io`] — CSV / `LEASTDAT`-binary dataset exporters (the streaming
+//!   readers live in `least-ingest`);
+//! * [`stats`] — [`SufficientStats`]: the d×d second-moment summary that
+//!   makes training cost independent of `n` (DESIGN.md §9), with
+//!   centering/standardization folded in algebraically and a versioned
+//!   checksummed artifact encoding.
 
 pub mod dataset;
+pub mod io;
 pub mod lsem;
 pub mod noise;
+pub mod stats;
 
 pub use dataset::Dataset;
-pub use lsem::{sample_lsem, sample_lsem_sparse};
+pub use io::{export_binary, export_csv};
+pub use lsem::{sample_lsem, sample_lsem_dataset, sample_lsem_sparse};
 pub use noise::NoiseModel;
+pub use stats::{Preprocess, SufficientStats};

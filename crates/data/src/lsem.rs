@@ -34,6 +34,21 @@ pub fn sample_lsem(
     Ok(propagate(&order, &parents, d, n, noise, rng))
 }
 
+/// Sample an LSEM into a [`crate::Dataset`] carrying the synthetic column
+/// names `X0..X{d-1}` — the named form the CSV/binary exporters in
+/// [`crate::io`] write as headers, so generated data round-trips
+/// generate → export → ingest with its schema intact.
+pub fn sample_lsem_dataset(
+    w: &DenseMatrix,
+    n: usize,
+    noise: NoiseModel,
+    rng: &mut Xoshiro256pp,
+) -> Result<crate::Dataset, LinalgError> {
+    let x = sample_lsem(w, n, noise, rng)?;
+    let names = crate::io::default_column_names(w.rows());
+    crate::Dataset::with_names(x, names)
+}
+
 /// Sparse-weight variant of [`sample_lsem`] for large graphs.
 pub fn sample_lsem_sparse(
     w: &CsrMatrix,
@@ -195,5 +210,23 @@ mod tests {
         let mut rng = Xoshiro256pp::new(77);
         let x = sample_lsem(&w, 17, NoiseModel::standard_gaussian(), &mut rng).unwrap();
         assert_eq!(x.shape(), (17, 2));
+    }
+
+    #[test]
+    fn dataset_sampler_names_columns() {
+        let w = two_node_chain(1.0);
+        let mut rng = Xoshiro256pp::new(78);
+        let ds = sample_lsem_dataset(&w, 9, NoiseModel::standard_gaussian(), &mut rng).unwrap();
+        assert_eq!(ds.num_samples(), 9);
+        assert_eq!(ds.column_names().unwrap(), &["X0".to_string(), "X1".into()]);
+        // Same RNG stream as the matrix sampler.
+        let again = sample_lsem(
+            &w,
+            9,
+            NoiseModel::standard_gaussian(),
+            &mut Xoshiro256pp::new(78),
+        )
+        .unwrap();
+        assert!(ds.matrix().approx_eq(&again, 0.0));
     }
 }

@@ -1,0 +1,190 @@
+//! End-to-end ingestion equivalence: generate → export → stream → learn.
+//!
+//! These tests close the loop the ISSUE demands: statistics ingested
+//! out-of-core from CSV/binary files must drive the Gram training path to
+//! the same losses, gradients and learned structures as the raw-data
+//! path, and the readers must agree with each other bit-for-bit.
+
+use least_core::{GramLoss, LeastConfig, LeastDense, LeastSparse};
+use least_data::{
+    export_binary, export_csv, sample_lsem_dataset, Dataset, NoiseModel, Preprocess,
+    SufficientStats,
+};
+use least_graph::{erdos_renyi_dag, weighted_adjacency_dense, WeightRange};
+use least_ingest::{ingest_binary, ingest_csv, IngestConfig};
+use least_linalg::{CsrMatrix, DenseMatrix, Xoshiro256pp};
+use std::path::PathBuf;
+
+fn dataset(d: usize, n: usize, seed: u64) -> Dataset {
+    let mut rng = Xoshiro256pp::new(seed);
+    let g = erdos_renyi_dag(d, 2, &mut rng);
+    let w = weighted_adjacency_dense(&g, WeightRange::default(), &mut rng);
+    sample_lsem_dataset(&w, n, NoiseModel::standard_gaussian(), &mut rng).unwrap()
+}
+
+fn temp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("least_ingest_test_{name}_{}", std::process::id()))
+}
+
+/// Export to both formats, ingest both, and return the (identical)
+/// statistics.
+fn stats_via_files(data: &Dataset, config: &IngestConfig, tag: &str) -> SufficientStats {
+    let csv_path = temp(&format!("{tag}.csv"));
+    let bin_path = temp(&format!("{tag}.dat"));
+    export_csv(data, &csv_path).unwrap();
+    export_binary(data, &bin_path).unwrap();
+    let from_csv = ingest_csv(&csv_path, config).unwrap();
+    let from_bin = ingest_binary(&bin_path, config).unwrap();
+    std::fs::remove_file(&csv_path).ok();
+    std::fs::remove_file(&bin_path).ok();
+    // CSV text round-trips every f64 bit-exactly (shortest-round-trip
+    // formatting) and the accumulator's summation order is fixed, so the
+    // two readers agree exactly, not just approximately.
+    assert_eq!(from_csv, from_bin, "csv and binary ingestion diverged");
+    from_csv
+}
+
+#[test]
+fn ingested_stats_match_in_memory_statistics() {
+    let data = dataset(8, 400, 0x11);
+    for preprocess in [Preprocess::Raw, Preprocess::Center, Preprocess::Standardize] {
+        let cfg = IngestConfig {
+            chunk_rows: 64,
+            preprocess,
+        };
+        let streamed = stats_via_files(&data, &cfg, "match");
+        let direct = SufficientStats::from_dataset(&data, preprocess).unwrap();
+        assert_eq!(streamed.n, direct.n);
+        let scale = direct.gram.max_abs().max(1.0);
+        assert!(
+            streamed.gram.approx_eq(&direct.gram, 1e-9 * scale),
+            "{preprocess:?}: gram drift {}",
+            streamed.gram.max_abs_diff(&direct.gram).unwrap()
+        );
+    }
+}
+
+#[test]
+fn gram_path_loss_and_grad_match_data_path_dense() {
+    let data = dataset(7, 300, 0x12);
+    let stats = stats_via_files(&data, &IngestConfig::default(), "dense_loss");
+    let lambda = 0.2;
+    let gram = GramLoss::from_stats(&stats, lambda).unwrap();
+
+    let mut rng = Xoshiro256pp::new(0x13);
+    let mut w = DenseMatrix::from_fn(7, 7, |_, _| rng.uniform(-0.5, 0.5));
+    w.zero_diagonal();
+
+    let (v_gram, g_gram) = gram.value_and_grad(&w).unwrap();
+    let (v_data, g_data) =
+        least_core::loss::batch_value_and_grad(data.matrix(), &w, lambda).unwrap();
+    assert!(
+        (v_gram - v_data).abs() <= 1e-9 * v_data.abs().max(1.0),
+        "loss: gram {v_gram} vs data {v_data}"
+    );
+    let drift = g_gram.max_abs_diff(&g_data).unwrap();
+    let scale = g_data.max_abs().max(1.0);
+    assert!(drift <= 1e-9 * scale, "gradient drift {drift}");
+}
+
+#[test]
+fn gram_path_loss_and_grad_match_data_path_sparse() {
+    let data = dataset(9, 250, 0x14);
+    let stats = stats_via_files(&data, &IngestConfig::default(), "sparse_loss");
+    let lambda = 0.1;
+    let gram = GramLoss::from_stats(&stats, lambda).unwrap();
+
+    let mut rng = Xoshiro256pp::new(0x15);
+    let mut wd = DenseMatrix::from_fn(9, 9, |_, _| {
+        if rng.bernoulli(0.35) {
+            rng.uniform(-0.7, 0.7)
+        } else {
+            0.0
+        }
+    });
+    wd.zero_diagonal();
+    let ws = CsrMatrix::from_dense(&wd, 0.0);
+
+    let (v_gram, g_gram) = gram.sparse_value_and_grad(&ws).unwrap();
+    let (v_data, g_data) =
+        least_core::loss::sparse_value_and_grad(data.matrix(), &ws, lambda).unwrap();
+    assert!(
+        (v_gram - v_data).abs() <= 1e-9 * v_data.abs().max(1.0),
+        "loss: gram {v_gram} vs data {v_data}"
+    );
+    for (slot, (a, b)) in g_gram.iter().zip(&g_data).enumerate() {
+        assert!(
+            (a - b).abs() <= 1e-9 * (1.0 + b.abs()),
+            "slot {slot}: gram {a} vs data {b}"
+        );
+    }
+}
+
+#[test]
+fn end_to_end_csv_training_recovers_the_data_path_structure() {
+    let data = dataset(6, 500, 0x16);
+    let stats = stats_via_files(&data, &IngestConfig::default(), "train");
+
+    let mut cfg = LeastConfig {
+        lambda: 0.05,
+        epsilon: 1e-6,
+        max_outer: 10,
+        max_inner: 400,
+        ..Default::default()
+    };
+    cfg.adam.learning_rate = 0.02;
+    let solver = LeastDense::new(cfg).unwrap();
+    let from_stats = solver.fit_stats(&stats).unwrap();
+    let from_data = solver.fit(&data).unwrap();
+
+    let tau = 0.3;
+    let edges_s: Vec<(usize, usize)> = from_stats.graph(tau).edges().collect();
+    let edges_d: Vec<(usize, usize)> = from_data.graph(tau).edges().collect();
+    assert_eq!(edges_s, edges_d, "structures diverged");
+    assert!(from_stats.graph(tau).is_dag());
+}
+
+#[test]
+fn sparse_backend_trains_from_ingested_stats() {
+    let data = dataset(30, 300, 0x17);
+    let stats = stats_via_files(&data, &IngestConfig::default(), "sparse_train");
+    let cfg = LeastConfig {
+        init_density: Some(0.1),
+        theta: 1e-3,
+        lambda: 0.05,
+        epsilon: 1e-6,
+        max_outer: 8,
+        max_inner: 150,
+        ..Default::default()
+    };
+    let result = LeastSparse::new(cfg).unwrap().fit_stats(&stats).unwrap();
+    assert!(
+        result.final_constraint < 1e-4,
+        "constraint {}",
+        result.final_constraint
+    );
+    assert!(result.graph(0.3).is_dag());
+}
+
+#[test]
+fn stats_artifact_restart_reproduces_training_exactly() {
+    // Ingest once, archive, reload in a "new job", train: identical model.
+    let data = dataset(6, 300, 0x18);
+    let stats = stats_via_files(&data, &IngestConfig::default(), "restart");
+    let path = temp("stats.sst");
+    stats.save(&path).unwrap();
+    let reloaded = SufficientStats::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(reloaded, stats);
+
+    let mut cfg = LeastConfig {
+        max_outer: 4,
+        max_inner: 100,
+        ..Default::default()
+    };
+    cfg.adam.learning_rate = 0.02;
+    let solver = LeastDense::new(cfg).unwrap();
+    let a = solver.fit_stats(&stats).unwrap();
+    let b = solver.fit_stats(&reloaded).unwrap();
+    assert!(a.weights.approx_eq(&b.weights, 0.0));
+}

@@ -29,6 +29,7 @@ pub mod par;
 pub mod power_iter;
 pub mod rng;
 pub mod serialize;
+pub mod sym;
 pub mod trace_est;
 pub mod vecops;
 
@@ -37,6 +38,7 @@ pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
 pub use error::LinalgError;
 pub use rng::Xoshiro256pp;
+pub use sym::PackedSym;
 
 /// Convenience alias used throughout the workspace.
 pub type Result<T> = std::result::Result<T, LinalgError>;

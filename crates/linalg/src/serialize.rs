@@ -99,6 +99,54 @@ fn too_large() -> LinalgError {
     LinalgError::InvalidArgument("declared length overflows the address space".into())
 }
 
+/// Streaming FNV-1a 64-bit hasher — the workspace's artifact integrity
+/// check (model artifacts, sufficient-statistics artifacts, binary
+/// datasets). Not cryptographic; it guards against truncation and
+/// accidental corruption, not adversaries. The incremental form exists so
+/// out-of-core readers and writers can checksum gigabyte streams without
+/// buffering them.
+#[derive(Debug, Clone)]
+pub struct Fnv1a64 {
+    state: u64,
+}
+
+impl Fnv1a64 {
+    /// Fresh hasher (FNV-1a offset basis).
+    pub fn new() -> Self {
+        Self {
+            state: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+
+    /// Absorb bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut hash = self.state;
+        for &b in bytes {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.state = hash;
+    }
+
+    /// Current digest (the hasher may keep absorbing afterwards).
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fnv1a64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot FNV-1a 64-bit hash of a byte slice.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a64::new();
+    h.update(bytes);
+    h.finish()
+}
+
 /// Append a little-endian `u32`.
 pub fn write_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
@@ -262,6 +310,20 @@ mod tests {
         assert_eq!(m.shape(), (2, 2));
         assert_eq!(r.read_u64().unwrap(), 99);
         assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn streaming_fnv_matches_one_shot() {
+        let payload = b"least ingestion checksum stream";
+        let one_shot = fnv1a64(payload);
+        let mut h = Fnv1a64::new();
+        for chunk in payload.chunks(5) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finish(), one_shot);
+        // Reference vectors for the FNV-1a-64 parameters.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
     }
 
     #[test]

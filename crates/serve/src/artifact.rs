@@ -259,17 +259,10 @@ fn malformed(e: least_linalg::LinalgError) -> ServeError {
     ServeError::Malformed(e.to_string())
 }
 
-/// FNV-1a 64-bit hash — tiny, dependency-free integrity check. Not
-/// cryptographic; it guards against truncation and accidental corruption,
-/// not adversaries.
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        hash ^= b as u64;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
+/// The workspace-shared FNV-1a 64-bit integrity hash (re-exported here for
+/// the artifact format's historical call sites; the implementation now
+/// lives with the rest of the codec in `least_linalg::serialize`).
+pub use least_linalg::serialize::fnv1a64;
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,128 @@
+//! Out-of-core training, end to end: generate a dataset to disk, ingest
+//! it as sufficient statistics without ever re-loading the sample matrix,
+//! learn a structure on the Gram path, fit parameters from the same
+//! statistics, and save a servable model artifact — closing the loop with
+//! the `model_server` serving layer.
+//!
+//! After ingestion, nothing downstream depends on `n`: the statistics
+//! artifact is `O(d²)` on disk, training is `O(d²)` per iteration, and a
+//! restarted job reloads the statistics instead of re-reading the data.
+//!
+//! ```text
+//! cargo run --release --example train_from_csv
+//! ```
+
+use least_bn::core::{FittedSem, LeastConfig, LeastDense};
+use least_bn::data::{export_csv, sample_lsem_dataset, NoiseModel, Preprocess, SufficientStats};
+use least_bn::graph::{erdos_renyi_dag, weighted_adjacency_dense, WeightRange};
+use least_bn::ingest::{ingest_csv, IngestConfig};
+use least_bn::linalg::Xoshiro256pp;
+use least_bn::serve::ModelArtifact;
+
+fn main() {
+    let seed = 0xC5;
+    let mut rng = Xoshiro256pp::new(seed);
+    let dir = std::env::temp_dir();
+    let csv_path = dir.join("least_train_from_csv.csv");
+    let stats_path = dir.join("least_train_from_csv.sst");
+    let model_path = dir.join("least_train_from_csv.model");
+
+    // 1. A hidden ground truth writes a CSV — in production this is the
+    //    warehouse export; n can exceed RAM, the reader streams it.
+    let d = 20;
+    let truth = erdos_renyi_dag(d, 2, &mut rng);
+    let w = weighted_adjacency_dense(&truth, WeightRange { lo: 0.8, hi: 1.6 }, &mut rng);
+    let data = sample_lsem_dataset(&w, 5_000, NoiseModel::standard_gaussian(), &mut rng)
+        .expect("acyclic truth");
+    export_csv(&data, &csv_path).expect("export");
+    println!(
+        "wrote {} ({} rows x {} cols)",
+        csv_path.display(),
+        data.num_samples(),
+        data.num_vars()
+    );
+
+    // 2. One streaming pass: CSV -> sufficient statistics (O(d²) memory,
+    //    chunked reads). Archive the statistics so training restarts skip
+    //    the pass entirely.
+    let stats = ingest_csv(
+        &csv_path,
+        &IngestConfig {
+            chunk_rows: 512,
+            preprocess: Preprocess::Raw,
+        },
+    )
+    .expect("ingest");
+    stats.save(&stats_path).expect("save stats");
+    let stats = SufficientStats::load(&stats_path).expect("reload stats");
+    println!(
+        "ingested: n={} d={} -> {} ({} bytes)",
+        stats.n,
+        stats.dim(),
+        stats_path.display(),
+        std::fs::metadata(&stats_path).expect("stat").len()
+    );
+
+    // 3. Structure learning on the Gram path — per-iteration cost is
+    //    independent of the 5 000 rows (or 5 billion; same statistics).
+    let mut cfg = LeastConfig {
+        seed,
+        lambda: 0.05,
+        max_outer: 10,
+        max_inner: 400,
+        epsilon: 1e-6,
+        ..Default::default()
+    };
+    cfg.adam.learning_rate = 0.02;
+    let learned = LeastDense::new(cfg)
+        .expect("config")
+        .fit_stats(&stats)
+        .expect("fit");
+    let structure = learned.graph(0.3);
+    println!(
+        "learned structure: {} edges (truth has {}), constraint {:.2e}",
+        structure.edge_count(),
+        truth.edge_count(),
+        learned.final_constraint
+    );
+    let mut recovered = 0;
+    for (u, v) in truth.edges() {
+        if structure.has_edge(u, v) {
+            recovered += 1;
+        }
+    }
+    println!("true edges recovered: {recovered}/{}", truth.edge_count());
+    assert!(structure.is_dag(), "thresholded structure must be a DAG");
+
+    // 4. Parameters from the same statistics (per-node OLS on the Gram),
+    //    then a servable artifact — still no second pass over the data.
+    let sem = FittedSem::fit_from_stats(&structure, &stats).expect("parameters");
+    let artifact = ModelArtifact::from_fitted(
+        &sem,
+        0.3,
+        &format!("train_from_csv: least-dense gram path, seed={seed}"),
+    )
+    .expect("artifact");
+    artifact.save_to_path(&model_path).expect("save model");
+
+    // 5. Reload and verify: the served model answers from the artifact
+    //    alone (upload it to `model_server` for live queries).
+    let reloaded = ModelArtifact::load_from_path(&model_path).expect("reload");
+    assert_eq!(
+        reloaded.to_bytes(),
+        artifact.to_bytes(),
+        "round-trip lost bits"
+    );
+    assert_eq!(reloaded.weights.dim(), d);
+    println!(
+        "servable artifact: {} ({} bytes, {} edges) — round-trip bit-exact",
+        model_path.display(),
+        artifact.to_bytes().len(),
+        reloaded.weights.nnz()
+    );
+
+    for p in [&csv_path, &stats_path, &model_path] {
+        std::fs::remove_file(p).ok();
+    }
+    println!("done: csv -> stats -> structure -> servable model, out-of-core throughout");
+}

@@ -38,6 +38,7 @@ pub use least_apps as apps;
 pub use least_core as core;
 pub use least_data as data;
 pub use least_graph as graph;
+pub use least_ingest as ingest;
 pub use least_linalg as linalg;
 pub use least_metrics as metrics;
 pub use least_notears as notears;
