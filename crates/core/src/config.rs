@@ -2,6 +2,57 @@
 //! (`X, ζ, λ, ε, k, α, B, θ, T_o, T_i`) plus implementation knobs.
 
 use least_optim::{AdamConfig, AugLagConfig};
+use std::fmt;
+
+/// A structurally invalid [`LeastConfig`], detected by
+/// [`LeastConfig::validate`] *before* a solver (or a training job) is
+/// built from it.
+///
+/// Historically most fields were silently accepted and only blew up — or
+/// silently looped forever — deep inside a fit. Typed variants let the
+/// job-orchestration layer reject a malformed `JobSpec` at submit time
+/// with a precise 400 instead of burning a worker on it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// A numeric field is outside its admissible range (or non-finite).
+    OutOfRange {
+        /// Field name as spelled in [`LeastConfig`] (e.g. `"alpha"`,
+        /// `"adam.learning_rate"`).
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+        /// Human-readable admissible range, e.g. `"(0, 1)"`.
+        expected: &'static str,
+    },
+    /// An iteration budget (`max_outer`, `max_inner`, `inner_patience`)
+    /// or `batch_size` is zero.
+    ZeroBudget {
+        /// Field name as spelled in [`LeastConfig`].
+        field: &'static str,
+    },
+    /// The sparse solver was requested without an initialization density
+    /// `ζ` (the CSR support *is* the search space, so it cannot default).
+    MissingInitDensity,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::OutOfRange {
+                field,
+                value,
+                expected,
+            } => write!(f, "{field} must be in {expected}, got {value}"),
+            ConfigError::ZeroBudget { field } => write!(f, "{field} must be positive"),
+            ConfigError::MissingInitDensity => write!(
+                f,
+                "LeastSparse requires init_density (zeta); see LeastConfig::paper_large_scale"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Which loss implementation feeds the inner loop (DESIGN.md §9).
 ///
@@ -28,7 +79,7 @@ pub enum LossPath {
 }
 
 /// Configuration shared by [`crate::LeastDense`] and [`crate::LeastSparse`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LeastConfig {
     /// Bound refinement steps `k` (paper: 5).
     pub k: usize,
@@ -144,6 +195,83 @@ impl LeastConfig {
         }
     }
 
+    /// Validate every backend-independent field, returning the first
+    /// violation as a typed [`ConfigError`].
+    ///
+    /// `LeastDense::new` / `LeastSparse::new` call this (the sparse
+    /// solver via [`Self::validate_sparse`]), so an invalid configuration
+    /// can no longer reach the optimizer loop; the job layer calls it at
+    /// submit time so a bad `JobSpec` fails with a 400 instead of inside
+    /// a worker.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let in_range = |field: &'static str, value: f64, ok: bool, expected: &'static str| {
+            if ok && value.is_finite() {
+                Ok(())
+            } else {
+                Err(ConfigError::OutOfRange {
+                    field,
+                    value,
+                    expected,
+                })
+            }
+        };
+        in_range(
+            "alpha",
+            self.alpha,
+            self.alpha > 0.0 && self.alpha < 1.0,
+            "(0, 1)",
+        )?;
+        in_range("lambda", self.lambda, self.lambda >= 0.0, "[0, inf)")?;
+        in_range("epsilon", self.epsilon, self.epsilon > 0.0, "(0, inf)")?;
+        in_range("theta", self.theta, self.theta >= 0.0, "[0, inf)")?;
+        in_range(
+            "inner_tol",
+            self.inner_tol,
+            self.inner_tol >= 0.0,
+            "[0, inf)",
+        )?;
+        in_range(
+            "rho_growth",
+            self.rho_growth,
+            self.rho_growth > 1.0,
+            "(1, inf)",
+        )?;
+        in_range(
+            "adam.learning_rate",
+            self.adam.learning_rate,
+            self.adam.learning_rate > 0.0,
+            "(0, inf)",
+        )?;
+        if let Some(zeta) = self.init_density {
+            in_range("init_density", zeta, zeta > 0.0 && zeta <= 1.0, "(0, 1]")?;
+        }
+        for (field, value) in [
+            ("max_outer", self.max_outer),
+            ("max_inner", self.max_inner),
+            ("inner_patience", self.inner_patience),
+        ] {
+            if value == 0 {
+                return Err(ConfigError::ZeroBudget { field });
+            }
+        }
+        if self.batch_size == Some(0) {
+            return Err(ConfigError::ZeroBudget {
+                field: "batch_size",
+            });
+        }
+        Ok(())
+    }
+
+    /// [`Self::validate`] plus the sparse backend's requirement that an
+    /// initialization density `ζ` is present.
+    pub fn validate_sparse(&self) -> Result<(), ConfigError> {
+        self.validate()?;
+        if self.init_density.is_none() {
+            return Err(ConfigError::MissingInitDensity);
+        }
+        Ok(())
+    }
+
     /// Derived augmented-Lagrangian config.
     pub fn auglag(&self) -> AugLagConfig {
         AugLagConfig {
@@ -197,6 +325,157 @@ mod tests {
     fn default_loss_path_is_auto() {
         assert_eq!(LeastConfig::default().loss_path, LossPath::Auto);
         assert_eq!(LossPath::default(), LossPath::Auto);
+    }
+
+    #[test]
+    fn validate_accepts_all_shipped_profiles() {
+        LeastConfig::default().validate().unwrap();
+        LeastConfig::paper_benchmark().validate().unwrap();
+        LeastConfig::paper_large_scale().validate_sparse().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_fields() {
+        let cases: Vec<(&'static str, LeastConfig)> = vec![
+            (
+                "alpha",
+                LeastConfig {
+                    alpha: 1.5,
+                    ..Default::default()
+                },
+            ),
+            (
+                "alpha",
+                LeastConfig {
+                    alpha: f64::NAN,
+                    ..Default::default()
+                },
+            ),
+            (
+                "lambda",
+                LeastConfig {
+                    lambda: -0.1,
+                    ..Default::default()
+                },
+            ),
+            (
+                "epsilon",
+                LeastConfig {
+                    epsilon: 0.0,
+                    ..Default::default()
+                },
+            ),
+            (
+                "theta",
+                LeastConfig {
+                    theta: -1.0,
+                    ..Default::default()
+                },
+            ),
+            (
+                "inner_tol",
+                LeastConfig {
+                    inner_tol: f64::INFINITY,
+                    ..Default::default()
+                },
+            ),
+            (
+                "rho_growth",
+                LeastConfig {
+                    rho_growth: 1.0,
+                    ..Default::default()
+                },
+            ),
+            (
+                "init_density",
+                LeastConfig {
+                    init_density: Some(0.0),
+                    ..Default::default()
+                },
+            ),
+            (
+                "init_density",
+                LeastConfig {
+                    init_density: Some(1.5),
+                    ..Default::default()
+                },
+            ),
+        ];
+        for (field, cfg) in cases {
+            match cfg.validate() {
+                Err(ConfigError::OutOfRange { field: f, .. }) => assert_eq!(f, field),
+                other => panic!("{field}: expected OutOfRange, got {other:?}"),
+            }
+        }
+        let mut cfg = LeastConfig::default();
+        cfg.adam.learning_rate = 0.0;
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::OutOfRange {
+                field: "adam.learning_rate",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_zero_budgets() {
+        for (field, cfg) in [
+            (
+                "max_outer",
+                LeastConfig {
+                    max_outer: 0,
+                    ..Default::default()
+                },
+            ),
+            (
+                "max_inner",
+                LeastConfig {
+                    max_inner: 0,
+                    ..Default::default()
+                },
+            ),
+            (
+                "inner_patience",
+                LeastConfig {
+                    inner_patience: 0,
+                    ..Default::default()
+                },
+            ),
+            (
+                "batch_size",
+                LeastConfig {
+                    batch_size: Some(0),
+                    ..Default::default()
+                },
+            ),
+        ] {
+            assert_eq!(cfg.validate(), Err(ConfigError::ZeroBudget { field }));
+        }
+    }
+
+    #[test]
+    fn validate_sparse_requires_density() {
+        let cfg = LeastConfig {
+            init_density: None,
+            ..Default::default()
+        };
+        cfg.validate().unwrap();
+        assert_eq!(cfg.validate_sparse(), Err(ConfigError::MissingInitDensity));
+    }
+
+    #[test]
+    fn config_error_display_names_the_field() {
+        let e = ConfigError::OutOfRange {
+            field: "alpha",
+            value: 2.0,
+            expected: "(0, 1)",
+        };
+        assert_eq!(e.to_string(), "alpha must be in (0, 1), got 2");
+        assert_eq!(
+            ConfigError::ZeroBudget { field: "max_inner" }.to_string(),
+            "max_inner must be positive"
+        );
     }
 
     #[test]

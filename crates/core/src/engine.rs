@@ -175,25 +175,16 @@ impl<Mode> LeastSolver<Mode> {
 
 /// Shared configuration validation. `requires_density` is the sparse
 /// backend's extra demand: the random initial pattern (density ζ) is its
-/// entire search space, so `init_density` must be set.
+/// entire search space, so `init_density` must be set. The full typed
+/// checks live on [`LeastConfig::validate`]; this shim keeps the solver
+/// constructors on the crate-wide `LinalgError` result type.
 pub(crate) fn validate_config(config: &LeastConfig, requires_density: bool) -> Result<()> {
-    if !(config.alpha > 0.0 && config.alpha < 1.0) {
-        return Err(LinalgError::InvalidArgument(format!(
-            "alpha must be in (0,1), got {}",
-            config.alpha
-        )));
-    }
-    if requires_density && config.init_density.is_none() {
-        return Err(LinalgError::InvalidArgument(
-            "LeastSparse requires init_density (zeta); see LeastConfig::paper_large_scale".into(),
-        ));
-    }
-    if config.max_inner == 0 || config.max_outer == 0 {
-        return Err(LinalgError::InvalidArgument(
-            "iteration budgets must be positive".into(),
-        ));
-    }
-    Ok(())
+    let checked = if requires_density {
+        config.validate_sparse()
+    } else {
+        config.validate()
+    };
+    checked.map_err(|e| LinalgError::InvalidArgument(e.to_string()))
 }
 
 /// Run the augmented-Lagrangian outer loop to completion over an

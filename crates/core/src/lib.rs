@@ -41,7 +41,7 @@ pub mod trace;
 pub use backend_dense::{Dense, LearnedDense, LeastDense};
 pub use backend_sparse::{LearnedSparse, LeastSparse, Sparse};
 pub use bound::{SpectralBound, SpectralBoundForward};
-pub use config::{LeastConfig, LossPath};
+pub use config::{ConfigError, LeastConfig, LossPath};
 pub use constraint::Acyclicity;
 pub use engine::{Learned, LeastSolver, TrainSource, WeightBackend};
 pub use loss::GramLoss;

@@ -1,0 +1,167 @@
+//! Standalone training-job server: queue + worker pool + HTTP in one
+//! process, closing the ingest → learn → serve loop.
+//!
+//! ```text
+//! cargo run --release -p least-jobs --bin job_server
+//! ```
+//!
+//! Environment:
+//!
+//! * `LEAST_JOBS_ADDR` — bind address (default `127.0.0.1:0`; port 0
+//!   picks an ephemeral port, printed on stdout).
+//! * `LEAST_JOBS_DIR` — state directory (default `least-jobs-data`):
+//!   holds `jobs.journal` (the queue's write-ahead journal) and
+//!   `models/` (persisted artifacts). Restarting with the same directory
+//!   recovers the queue — queued jobs stay queued, jobs that were
+//!   running when the process died are re-enqueued (attempt-capped) —
+//!   and re-registers previously persisted models.
+//! * `LEAST_JOBS_WORKERS` — training workers (default: the
+//!   `least_linalg::par` pool width, i.e. `LEAST_NUM_THREADS`).
+//! * `LEAST_JOBS_MAX_ATTEMPTS` — attempt cap per job (default 3).
+//! * `LEAST_JOBS_ADDR_FILE` — if set, the bound `host:port` is written
+//!   there (how the CI smoke test discovers the ephemeral port).
+//! * `LEAST_SERVE_WORKERS` — HTTP handler threads (default: pool width).
+//!
+//! Stops cleanly on `POST /shutdown`: the HTTP server drains, workers
+//! finish their in-flight job, and the process exits 0.
+
+use least_jobs::{JobQueue, JobRunner, JobService, QueueConfig, RunnerConfig};
+use least_serve::{ModelArtifact, ModelRegistry, Server, ServerConfig};
+use std::path::Path;
+use std::sync::Arc;
+
+fn env_parse<T: std::str::FromStr>(key: &str) -> Option<T> {
+    std::env::var(key).ok().and_then(|s| s.parse().ok())
+}
+
+/// Re-register persisted artifacts (`{model}.v{N}.model`) so models
+/// learned before a restart stay queryable. Only the newest persisted
+/// version per model is loaded (the rest are history), and the
+/// registry's version counter is advanced past everything on disk, so
+/// models trained after the restart keep strictly climbing — the
+/// newest file per model is always the newest registration.
+fn reload_models(registry: &ModelRegistry, dir: &Path) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    // model name → (newest persisted version, its path)
+    let mut newest: std::collections::BTreeMap<String, (u64, std::path::PathBuf)> =
+        std::collections::BTreeMap::new();
+    let mut max_version = 0u64;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        // {model}.v{N}.model
+        let Some(stem) = name.strip_suffix(".model") else {
+            continue;
+        };
+        let Some((model, v)) = stem.rsplit_once(".v") else {
+            continue;
+        };
+        let Ok(version) = v.parse::<u64>() else {
+            continue;
+        };
+        max_version = max_version.max(version);
+        match newest.get(model) {
+            Some(&(kept, _)) if kept >= version => {}
+            _ => {
+                newest.insert(model.to_string(), (version, path));
+            }
+        }
+    }
+    // Advance the counter *before* inserting, so reloaded registrations
+    // continue the on-disk version sequence instead of restarting at 1
+    // (a client that cached "model @ v5" must never see the same model
+    // re-served as a lower version after a restart).
+    registry.advance_versions_past(max_version);
+    for (model, (version, path)) in newest {
+        match ModelArtifact::load_from_path(&path) {
+            Ok(artifact) => match registry.insert(&model, artifact) {
+                Ok(new_version) => println!(
+                    "reloaded model '{model}' (persisted v{version}) as registry v{new_version}"
+                ),
+                Err(e) => eprintln!("warning: reloading {}: {e}", path.display()),
+            },
+            Err(e) => eprintln!("warning: reloading {}: {e}", path.display()),
+        }
+    }
+}
+
+fn main() {
+    let addr = std::env::var("LEAST_JOBS_ADDR").unwrap_or_else(|_| "127.0.0.1:0".into());
+    let dir = std::path::PathBuf::from(
+        std::env::var("LEAST_JOBS_DIR").unwrap_or_else(|_| "least-jobs-data".into()),
+    );
+    let models_dir = dir.join("models");
+    std::fs::create_dir_all(&models_dir).expect("create state directory");
+
+    let max_attempts = env_parse::<u32>("LEAST_JOBS_MAX_ATTEMPTS")
+        .unwrap_or(QueueConfig::default().max_attempts)
+        .max(1);
+    let queue = Arc::new(
+        JobQueue::open(dir.join("jobs.journal"), QueueConfig { max_attempts })
+            .unwrap_or_else(|e| panic!("opening journal in {}: {e}", dir.display())),
+    );
+    let counts = queue.counts();
+    println!(
+        "journal {}: {} queued, {} succeeded, {} failed, {} cancelled",
+        dir.join("jobs.journal").display(),
+        counts.queued,
+        counts.succeeded,
+        counts.failed,
+        counts.cancelled
+    );
+
+    let registry = Arc::new(ModelRegistry::new());
+    reload_models(&registry, &models_dir);
+    // The journal may report model versions with no surviving artifact
+    // file (best-effort persists can fail); floor the counter past those
+    // too, so a version number once reported by GET /jobs/{id} is never
+    // re-issued to a different model after a restart.
+    let max_reported = queue
+        .list(None)
+        .iter()
+        .filter_map(|s| s.model_version)
+        .max()
+        .unwrap_or(0);
+    registry.advance_versions_past(max_reported);
+
+    let job_workers = env_parse::<usize>("LEAST_JOBS_WORKERS")
+        .unwrap_or_else(least_linalg::par::max_threads)
+        .max(1);
+    let runner = JobRunner::new(
+        Arc::clone(&queue),
+        Arc::clone(&registry),
+        RunnerConfig {
+            workers: job_workers,
+            artifact_dir: Some(models_dir),
+        },
+    );
+
+    let mut config = ServerConfig::default();
+    if let Some(workers) = env_parse::<usize>("LEAST_SERVE_WORKERS") {
+        config.workers = workers.max(1);
+    }
+    let service: Arc<dyn least_serve::RouteExt> = Arc::new(JobService::new(Arc::clone(&queue)));
+    let server = Server::bind_with_ext(&addr, Arc::clone(&registry), config.clone(), Some(service))
+        .expect("bind");
+    let local = server.local_addr();
+    println!(
+        "listening on {local} ({} http workers, {job_workers} job workers, attempt cap {max_attempts})",
+        config.workers
+    );
+    if let Ok(path) = std::env::var("LEAST_JOBS_ADDR_FILE") {
+        std::fs::write(&path, local.to_string()).expect("write addr file");
+    }
+
+    std::thread::scope(|scope| {
+        let worker_thread = scope.spawn(|| runner.run());
+        server.serve().expect("serve");
+        // HTTP is down; let workers finish their in-flight jobs and exit.
+        queue.stop_workers();
+        worker_thread.join().expect("worker pool");
+    });
+    println!("clean shutdown");
+}

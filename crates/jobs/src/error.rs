@@ -1,0 +1,83 @@
+//! Error types for the job-orchestration layer.
+
+use crate::spec::SpecError;
+use std::fmt;
+
+/// Result alias for the jobs crate.
+pub type Result<T> = std::result::Result<T, JobError>;
+
+/// Errors produced by the journal, the queue, and job execution.
+#[derive(Debug)]
+pub enum JobError {
+    /// The journal file does not start with the `LEASTJNL` magic.
+    BadMagic,
+    /// The journal declares a format version this build cannot read.
+    UnsupportedVersion(u32),
+    /// A journal record failed its checksum or is structurally invalid.
+    /// Torn *tails* (a crash mid-append) are repaired silently; this is
+    /// corruption in the already-committed prefix and is never ignored.
+    BadJournal {
+        /// Byte offset of the corrupt record.
+        offset: u64,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// A malformed [`crate::JobSpec`] (rejected at submit time).
+    Spec(SpecError),
+    /// An operation referenced a job id the queue has never seen.
+    UnknownJob(u64),
+    /// An operation required the job to be in a different state (e.g.
+    /// completing a job that is not running).
+    InvalidTransition {
+        /// Job id.
+        id: u64,
+        /// What was attempted.
+        op: &'static str,
+        /// The state the job was actually in.
+        state: crate::queue::JobState,
+    },
+    /// Underlying I/O failure (journal file, artifact files).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::BadMagic => write!(f, "not a LEAST job journal (bad magic)"),
+            JobError::UnsupportedVersion(v) => {
+                write!(f, "unsupported journal format version {v}")
+            }
+            JobError::BadJournal { offset, reason } => {
+                write!(f, "corrupt journal record at byte {offset}: {reason}")
+            }
+            JobError::Spec(e) => write!(f, "invalid job spec: {e}"),
+            JobError::UnknownJob(id) => write!(f, "unknown job id {id}"),
+            JobError::InvalidTransition { id, op, state } => {
+                write!(f, "cannot {op} job {id} in state {}", state.as_str())
+            }
+            JobError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JobError::Io(e) => Some(e),
+            JobError::Spec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for JobError {
+    fn from(e: std::io::Error) -> Self {
+        JobError::Io(e)
+    }
+}
+
+impl From<SpecError> for JobError {
+    fn from(e: SpecError) -> Self {
+        JobError::Spec(e)
+    }
+}

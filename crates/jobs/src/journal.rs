@@ -1,0 +1,457 @@
+//! The queue's write-ahead journal: an append-only record log that makes
+//! job state survive process death.
+//!
+//! Format (little-endian, like every LEAST artifact):
+//!
+//! ```text
+//! header:  "LEASTJNL" (8 bytes) | u32 version (= 1)
+//! record:  u32 payload_len | payload | u64 FNV-1a-64(payload)
+//! payload: u8 tag | tag-specific fields   (strings: u32 len + UTF-8)
+//! ```
+//!
+//! Every record is individually checksummed with the workspace's shared
+//! [`least_linalg::serialize::Fnv1a64`]. Two corruption classes are
+//! treated very differently:
+//!
+//! * a **torn tail** — the process died mid-append, so the last record is
+//!   incomplete. Detected as "record extends past EOF"; the tail is
+//!   truncated and replay succeeds (the in-flight operation simply never
+//!   happened, which is exactly the write-ahead contract);
+//! * **corruption in the committed prefix** — a checksum or structure
+//!   failure before the last record. Never repaired silently: replay
+//!   stops with [`JobError::BadJournal`] so the operator decides.
+
+use crate::error::{JobError, Result};
+use least_linalg::serialize::{write_u32, write_u64, Fnv1a64};
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+
+/// Journal file magic.
+pub const JOURNAL_MAGIC: &[u8; 8] = b"LEASTJNL";
+/// Journal format version this build reads and writes.
+pub const JOURNAL_VERSION: u32 = 1;
+
+/// One durable state transition. The queue appends a record *before*
+/// acting on the transition, so replay can only over-approximate work
+/// still owed, never lose it.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Record {
+    /// A job entered the queue. The spec JSON is the single source of
+    /// truth for everything job-level (priority included) — replay
+    /// re-parses it rather than duplicating fields in the record.
+    Submitted { id: u64, spec_json: String },
+    /// A worker claimed the job; `attempt` counts from 1.
+    Started { id: u64, attempt: u32 },
+    /// The attempt failed and the job went back to the queue.
+    Retried { id: u64, error: String },
+    /// Terminal success; the model was registered under `model_version`.
+    Completed { id: u64, model_version: u64 },
+    /// Terminal failure (attempt cap reached, or crash at the cap).
+    Failed { id: u64, error: String },
+    /// Terminal cancellation.
+    Cancelled { id: u64 },
+    /// A cancel arrived while the job was running; the worker observes
+    /// it at the next stage boundary. Durable so that a crash between
+    /// cancel and observation does not resurrect the job.
+    CancelRequested { id: u64 },
+}
+
+const TAG_SUBMITTED: u8 = 1;
+const TAG_STARTED: u8 = 2;
+const TAG_RETRIED: u8 = 3;
+const TAG_COMPLETED: u8 = 4;
+const TAG_FAILED: u8 = 5;
+const TAG_CANCELLED: u8 = 6;
+const TAG_CANCEL_REQUESTED: u8 = 7;
+
+fn write_str(out: &mut Vec<u8>, s: &str) {
+    write_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+impl Record {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Record::Submitted { id, spec_json } => {
+                out.push(TAG_SUBMITTED);
+                write_u64(&mut out, *id);
+                write_str(&mut out, spec_json);
+            }
+            Record::Started { id, attempt } => {
+                out.push(TAG_STARTED);
+                write_u64(&mut out, *id);
+                write_u32(&mut out, *attempt);
+            }
+            Record::Retried { id, error } => {
+                out.push(TAG_RETRIED);
+                write_u64(&mut out, *id);
+                write_str(&mut out, error);
+            }
+            Record::Completed { id, model_version } => {
+                out.push(TAG_COMPLETED);
+                write_u64(&mut out, *id);
+                write_u64(&mut out, *model_version);
+            }
+            Record::Failed { id, error } => {
+                out.push(TAG_FAILED);
+                write_u64(&mut out, *id);
+                write_str(&mut out, error);
+            }
+            Record::Cancelled { id } => {
+                out.push(TAG_CANCELLED);
+                write_u64(&mut out, *id);
+            }
+            Record::CancelRequested { id } => {
+                out.push(TAG_CANCEL_REQUESTED);
+                write_u64(&mut out, *id);
+            }
+        }
+        out
+    }
+}
+
+/// A decoding cursor over one record payload.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    offset: u64,
+}
+
+impl<'a> Cursor<'a> {
+    fn corrupt(&self, reason: impl Into<String>) -> JobError {
+        JobError::BadJournal {
+            offset: self.offset,
+            reason: reason.into(),
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.bytes.len() {
+            return Err(self.corrupt("payload shorter than its fields"));
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn string(&mut self) -> Result<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| self.corrupt("non-UTF-8 string field"))
+    }
+
+    fn finish(self) -> Result<()> {
+        if self.pos != self.bytes.len() {
+            return Err(self.corrupt("trailing bytes after record fields"));
+        }
+        Ok(())
+    }
+}
+
+fn decode(payload: &[u8], offset: u64) -> Result<Record> {
+    let mut c = Cursor {
+        bytes: payload,
+        pos: 0,
+        offset,
+    };
+    let record = match c.u8()? {
+        TAG_SUBMITTED => Record::Submitted {
+            id: c.u64()?,
+            spec_json: c.string()?,
+        },
+        TAG_STARTED => Record::Started {
+            id: c.u64()?,
+            attempt: c.u32()?,
+        },
+        TAG_RETRIED => Record::Retried {
+            id: c.u64()?,
+            error: c.string()?,
+        },
+        TAG_COMPLETED => Record::Completed {
+            id: c.u64()?,
+            model_version: c.u64()?,
+        },
+        TAG_FAILED => Record::Failed {
+            id: c.u64()?,
+            error: c.string()?,
+        },
+        TAG_CANCELLED => Record::Cancelled { id: c.u64()? },
+        TAG_CANCEL_REQUESTED => Record::CancelRequested { id: c.u64()? },
+        tag => return Err(c.corrupt(format!("unknown record tag {tag}"))),
+    };
+    c.finish()?;
+    Ok(record)
+}
+
+/// The open journal: an append handle over the verified record log.
+#[derive(Debug)]
+pub(crate) struct Journal {
+    file: File,
+}
+
+impl Journal {
+    /// Open (creating if absent) and replay the journal at `path`.
+    /// Returns the handle positioned for appends plus every committed
+    /// record in order. A torn tail is truncated away; corruption in the
+    /// committed prefix is a hard [`JobError::BadJournal`].
+    pub fn open(path: impl AsRef<Path>) -> Result<(Self, Vec<Record>)> {
+        let path = path.as_ref();
+        let fresh = !path.exists();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(path)?;
+        let mut header = Vec::with_capacity(12);
+        header.extend_from_slice(JOURNAL_MAGIC);
+        write_u32(&mut header, JOURNAL_VERSION);
+        if fresh {
+            file.write_all(&header)?;
+            file.flush()?;
+            file.sync_data()?;
+            return Ok((Self { file }, Vec::new()));
+        }
+
+        let bytes = std::fs::read(path)?;
+        if bytes.len() < 12 {
+            // Shorter than a header. A crash between file creation and
+            // the header fsync leaves a prefix of the header (usually 0
+            // bytes) — that is a torn write, not corruption: start
+            // fresh. Anything else short is some other file.
+            if !header.starts_with(&bytes) {
+                return Err(JobError::BadMagic);
+            }
+            file.set_len(0)?;
+            file.write_all(&header)?;
+            file.flush()?;
+            file.sync_data()?;
+            return Ok((Self { file }, Vec::new()));
+        }
+        if &bytes[..8] != JOURNAL_MAGIC {
+            return Err(JobError::BadMagic);
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        if version != JOURNAL_VERSION {
+            return Err(JobError::UnsupportedVersion(version));
+        }
+
+        let mut records = Vec::new();
+        let mut pos = 12usize;
+        let mut committed = pos;
+        while pos < bytes.len() {
+            // A record that does not fit in the remaining bytes can only
+            // be the torn last append; everything before `committed` has
+            // already checksum-verified.
+            if pos + 4 > bytes.len() {
+                break;
+            }
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            if pos + 4 + len + 8 > bytes.len() {
+                break;
+            }
+            let payload = &bytes[pos + 4..pos + 4 + len];
+            let stored = u64::from_le_bytes(
+                bytes[pos + 4 + len..pos + 4 + len + 8]
+                    .try_into()
+                    .expect("8"),
+            );
+            let mut hasher = Fnv1a64::new();
+            hasher.update(payload);
+            let computed = hasher.finish();
+            if computed != stored {
+                return Err(JobError::BadJournal {
+                    offset: pos as u64,
+                    reason: format!(
+                        "checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+                    ),
+                });
+            }
+            records.push(decode(payload, pos as u64)?);
+            pos += 4 + len + 8;
+            committed = pos;
+        }
+        if committed < bytes.len() {
+            // Torn tail: drop the partial append.
+            file.set_len(committed as u64)?;
+            file.sync_data()?;
+        }
+        Ok((Self { file }, records))
+    }
+
+    /// Durably append one record (write + flush + `sync_data`).
+    pub fn append(&mut self, record: &Record) -> Result<()> {
+        let payload = record.encode();
+        let mut framed = Vec::with_capacity(payload.len() + 12);
+        write_u32(&mut framed, payload.len() as u32);
+        framed.extend_from_slice(&payload);
+        let mut hasher = Fnv1a64::new();
+        hasher.update(&payload);
+        write_u64(&mut framed, hasher.finish());
+        self.file.write_all(&framed)?;
+        self.file.flush()?;
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("least_jobs_journal_{name}_{}", std::process::id()))
+    }
+
+    fn sample_records() -> Vec<Record> {
+        vec![
+            Record::Submitted {
+                id: 1,
+                spec_json: r#"{"model":"m"}"#.into(),
+            },
+            Record::Started { id: 1, attempt: 1 },
+            Record::Retried {
+                id: 1,
+                error: "disk hiccup".into(),
+            },
+            Record::Started { id: 1, attempt: 2 },
+            Record::Completed {
+                id: 1,
+                model_version: 9,
+            },
+            Record::Submitted {
+                id: 2,
+                spec_json: "{}".into(),
+            },
+            Record::CancelRequested { id: 2 },
+            Record::Cancelled { id: 2 },
+            Record::Failed {
+                id: 3,
+                error: "nope".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn append_replay_round_trip() {
+        let path = temp_path("roundtrip");
+        std::fs::remove_file(&path).ok();
+        let (mut journal, replayed) = Journal::open(&path).unwrap();
+        assert!(replayed.is_empty());
+        for r in sample_records() {
+            journal.append(&r).unwrap();
+        }
+        drop(journal);
+        let (_journal, replayed) = Journal::open(&path).unwrap();
+        assert_eq!(replayed, sample_records());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_survives_reopen() {
+        let path = temp_path("torn");
+        std::fs::remove_file(&path).ok();
+        let (mut journal, _) = Journal::open(&path).unwrap();
+        journal
+            .append(&Record::Started { id: 5, attempt: 1 })
+            .unwrap();
+        drop(journal);
+        // Simulate a crash mid-append: half a record at the tail.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let good_len = bytes.len();
+        bytes.extend_from_slice(&[42, 0, 0, 0, 9, 9]);
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, replayed) = Journal::open(&path).unwrap();
+        assert_eq!(replayed, vec![Record::Started { id: 5, attempt: 1 }]);
+        assert_eq!(std::fs::read(&path).unwrap().len(), good_len, "tail gone");
+        // A second reopen is clean.
+        let (_, replayed) = Journal::open(&path).unwrap();
+        assert_eq!(replayed.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn committed_corruption_is_a_hard_error() {
+        let path = temp_path("corrupt");
+        std::fs::remove_file(&path).ok();
+        let (mut journal, _) = Journal::open(&path).unwrap();
+        journal
+            .append(&Record::Started { id: 5, attempt: 1 })
+            .unwrap();
+        journal
+            .append(&Record::Completed {
+                id: 5,
+                model_version: 1,
+            })
+            .unwrap();
+        drop(journal);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let flip = 12 + 4 + 3; // inside the first record's payload
+        bytes[flip] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        match Journal::open(&path) {
+            Err(JobError::BadJournal { offset, reason }) => {
+                assert_eq!(offset, 12);
+                assert!(reason.contains("checksum"), "{reason}");
+            }
+            other => panic!("expected BadJournal, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_header_is_repaired_as_fresh() {
+        let path = temp_path("torn_header");
+        // A crash between create and the header write can leave any
+        // strict prefix of the 12 header bytes (most commonly zero).
+        let mut header = Vec::new();
+        header.extend_from_slice(JOURNAL_MAGIC);
+        write_u32(&mut header, JOURNAL_VERSION);
+        for cut in [0usize, 3, 8, 11] {
+            std::fs::write(&path, &header[..cut]).unwrap();
+            let (mut journal, replayed) = Journal::open(&path).unwrap();
+            assert!(replayed.is_empty(), "cut={cut}");
+            journal.append(&Record::Cancelled { id: 1 }).unwrap();
+            drop(journal);
+            let (_, replayed) = Journal::open(&path).unwrap();
+            assert_eq!(replayed, vec![Record::Cancelled { id: 1 }], "cut={cut}");
+        }
+        // But a short file that is NOT a header prefix is foreign.
+        std::fs::write(&path, b"short").unwrap();
+        assert!(matches!(Journal::open(&path), Err(JobError::BadMagic)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_rejected() {
+        let path = temp_path("magic");
+        std::fs::write(&path, b"NOTAJRNL....").unwrap();
+        assert!(matches!(Journal::open(&path), Err(JobError::BadMagic)));
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(JOURNAL_MAGIC);
+        write_u32(&mut bytes, 99);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            Journal::open(&path),
+            Err(JobError::UnsupportedVersion(99))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+}

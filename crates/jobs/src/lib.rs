@@ -1,0 +1,91 @@
+//! # least-jobs
+//!
+//! Training-job orchestration: the subsystem that turns the workspace's
+//! three standalone stages — out-of-core ingestion (`least-ingest`), the
+//! solver engine (`least-core`), and the serving layer (`least-serve`) —
+//! into one closed **ingest → learn → serve** loop running as a service.
+//! The paper's production claim is exactly this shape: LEAST is deployed
+//! inside Alibaba's data stack executing on the order of 100 000
+//! structure-learning *tasks per day* (Section V-B), so heavy traffic
+//! means many concurrent training jobs, not just many queries.
+//!
+//! Four pieces (DESIGN.md §10):
+//!
+//! * [`spec`] — [`JobSpec`]: JSON in, JSON out, everything (including the
+//!   full [`least_core::LeastConfig`]) validated at submit time;
+//! * [`queue`] — [`JobQueue`]: priority + FIFO scheduling over a
+//!   checksummed write-ahead [`journal`], so queued and running jobs
+//!   survive `kill -9` and crashed jobs re-run under an attempt cap;
+//! * [`worker`] — [`JobRunner`]: a scoped-thread pool that executes jobs
+//!   end-to-end and hot-registers each result into the live
+//!   [`least_serve::ModelRegistry`] under a monotonic version;
+//! * [`service`] — [`JobService`]: `/jobs` HTTP endpoints mounted onto
+//!   the *same* server that answers model queries, via
+//!   [`least_serve::RouteExt`].
+//!
+//! The `job_server` binary boots all four in one process:
+//!
+//! ```text
+//! cargo run --release -p least-jobs --bin job_server
+//! curl -X POST "http://$ADDR/jobs" -d \
+//!   '{"model":"demo","source":{"kind":"csv","path":"data.csv"}}'
+//! curl "http://$ADDR/jobs/1"            # ... "state":"succeeded" ...
+//! curl -X POST "http://$ADDR/models/demo/query" \
+//!   -d '{"kind":"markov_blanket","node":0}'
+//! ```
+//!
+//! ## In-process example
+//!
+//! ```
+//! use least_data::{export_csv, sample_lsem_dataset, NoiseModel};
+//! use least_jobs::{JobQueue, JobRunner, JobSpec, QueueConfig, RunnerConfig};
+//! use least_linalg::{DenseMatrix, Xoshiro256pp};
+//! use least_serve::ModelRegistry;
+//! use std::sync::Arc;
+//!
+//! // A small CSV on disk.
+//! let mut rng = Xoshiro256pp::new(3);
+//! let mut w = DenseMatrix::zeros(3, 3);
+//! w[(0, 1)] = 1.4;
+//! let data = sample_lsem_dataset(&w, 400, NoiseModel::standard_gaussian(), &mut rng)?;
+//! let dir = std::env::temp_dir();
+//! let csv = dir.join("least_jobs_doc.csv");
+//! export_csv(&data, &csv)?;
+//!
+//! // Queue + registry + one worker; submit, drain, query.
+//! let journal = dir.join("least_jobs_doc.journal");
+//! std::fs::remove_file(&journal).ok();
+//! let queue = Arc::new(JobQueue::open(&journal, QueueConfig::default()).unwrap());
+//! let registry = Arc::new(ModelRegistry::new());
+//! let spec = JobSpec::parse_str(&format!(
+//!     r#"{{"model":"doc","source":{{"kind":"csv","path":{:?}}},
+//!         "config":{{"max_outer":4,"max_inner":60,"seed":3}}}}"#,
+//!     csv.display().to_string(),
+//! ))
+//! .unwrap();
+//! let id = queue.submit(spec).unwrap();
+//! let runner = JobRunner::new(
+//!     Arc::clone(&queue),
+//!     Arc::clone(&registry),
+//!     RunnerConfig { workers: 1, artifact_dir: None },
+//! );
+//! runner.run_one().unwrap();
+//! assert_eq!(queue.get(id).unwrap().state, least_jobs::JobState::Succeeded);
+//! assert!(registry.get("doc").is_some(), "model is live");
+//! # std::fs::remove_file(&csv).ok();
+//! # std::fs::remove_file(&journal).ok();
+//! # Ok::<(), least_linalg::LinalgError>(())
+//! ```
+
+pub mod error;
+pub mod journal;
+pub mod queue;
+pub mod service;
+pub mod spec;
+pub mod worker;
+
+pub use error::{JobError, Result};
+pub use queue::{CancelOutcome, Claim, JobQueue, JobSnapshot, JobState, QueueConfig, QueueCounts};
+pub use service::JobService;
+pub use spec::{JobBackend, JobSource, JobSpec, SpecError};
+pub use worker::{JobRunner, Outcome, RunnerConfig};

@@ -1,0 +1,716 @@
+//! [`JobQueue`]: a persistent priority+FIFO queue of training jobs.
+//!
+//! In memory it is a `Mutex`-guarded job table plus a ready-heap and a
+//! `Condvar` for blocking workers; on disk it is the write-ahead
+//! [`journal`](crate::journal) — every transition is appended (and
+//! fsynced) *before* the in-memory state changes, so a `kill -9` at any
+//! point leaves a journal from which [`JobQueue::open`] rebuilds exactly
+//! the queue, with these recovery rules:
+//!
+//! * `queued` jobs stay queued;
+//! * `running` jobs were lost mid-attempt: they are re-enqueued, unless
+//!   the attempt cap is exhausted (→ `failed`) or a durable cancel
+//!   request was pending (→ `cancelled`);
+//! * terminal jobs (`succeeded` / `failed` / `cancelled`) keep their
+//!   history, so `GET /jobs/{id}` answers across restarts.
+//!
+//! Scheduling: higher `priority` first, FIFO (submit order) within a
+//! priority.
+
+use crate::error::{JobError, Result};
+use crate::journal::{Journal, Record};
+use crate::spec::JobSpec;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+use std::path::Path;
+use std::sync::{Condvar, Mutex};
+
+/// Queue tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct QueueConfig {
+    /// Maximum `Started` attempts per job (failures and crashes both
+    /// consume attempts). The default allows two retries.
+    pub max_attempts: u32,
+}
+
+impl Default for QueueConfig {
+    fn default() -> Self {
+        Self { max_attempts: 3 }
+    }
+}
+
+/// Lifecycle state of a job. Transitions:
+///
+/// ```text
+/// queued ──claim──► running ──complete──► succeeded
+///   ▲                 │ fail (attempts left)
+///   └─────────────────┤
+///   cancel            │ fail (cap) ─► failed
+/// cancelled ◄─────────┘ cancel observed
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting for a worker.
+    Queued,
+    /// Claimed by a worker.
+    Running,
+    /// Finished; the model is registered.
+    Succeeded,
+    /// Terminal failure.
+    Failed,
+    /// Terminal cancellation.
+    Cancelled,
+}
+
+impl JobState {
+    /// Wire name (`"queued"`, ...).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Succeeded => "succeeded",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    /// Inverse of [`Self::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "queued" => JobState::Queued,
+            "running" => JobState::Running,
+            "succeeded" => JobState::Succeeded,
+            "failed" => JobState::Failed,
+            "cancelled" => JobState::Cancelled,
+            _ => return None,
+        })
+    }
+
+    /// True for `succeeded` / `failed` / `cancelled`.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Succeeded | JobState::Failed | JobState::Cancelled
+        )
+    }
+}
+
+/// Point-in-time copy of one job's public state.
+#[derive(Debug, Clone)]
+pub struct JobSnapshot {
+    /// Queue-assigned id (monotonic from 1).
+    pub id: u64,
+    /// The validated spec as submitted.
+    pub spec: JobSpec,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// `Started` attempts so far (crashes included).
+    pub attempts: u32,
+    /// A cancel arrived while running and has not yet been observed.
+    pub cancel_requested: bool,
+    /// Most recent failure message, if any.
+    pub error: Option<String>,
+    /// Registry version of the produced model (terminal successes).
+    pub model_version: Option<u64>,
+}
+
+/// Per-state job counts (for health/status endpoints).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueCounts {
+    pub queued: usize,
+    pub running: usize,
+    pub succeeded: usize,
+    pub failed: usize,
+    pub cancelled: usize,
+}
+
+/// What [`JobQueue::cancel`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelOutcome {
+    /// The job was still queued: cancelled immediately.
+    CancelledQueued,
+    /// The job is running: a durable cancel request was recorded; the
+    /// worker observes it at its next stage boundary.
+    CancelRequested,
+    /// The job is already terminal; nothing to cancel.
+    AlreadyTerminal(JobState),
+    /// No such job id.
+    NotFound,
+}
+
+/// A claimed job handed to a worker. The worker must resolve it with
+/// exactly one of [`JobQueue::complete`], [`JobQueue::fail`], or (via a
+/// `false` return from [`JobQueue::try_finish`]) a cancellation.
+#[derive(Debug, Clone)]
+pub struct Claim {
+    /// Job id.
+    pub id: u64,
+    /// This attempt's number (1-based).
+    pub attempt: u32,
+    /// The spec to execute.
+    pub spec: JobSpec,
+}
+
+#[derive(Debug)]
+struct JobEntry {
+    spec: JobSpec,
+    state: JobState,
+    attempts: u32,
+    cancel_requested: bool,
+    error: Option<String>,
+    model_version: Option<u64>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    journal: Journal,
+    jobs: BTreeMap<u64, JobEntry>,
+    /// Ready jobs keyed `(priority, Reverse(id))` under max-heap order:
+    /// higher priority first, then lower id (FIFO). Entries can go stale
+    /// (job cancelled or re-claimed); [`JobQueue::claim`] skips those.
+    heap: BinaryHeap<(i64, Reverse<u64>)>,
+    next_id: u64,
+    stop: bool,
+}
+
+impl Inner {
+    fn entry(&mut self, id: u64) -> Result<&mut JobEntry> {
+        self.jobs.get_mut(&id).ok_or(JobError::UnknownJob(id))
+    }
+}
+
+/// The persistent job queue. All methods are `&self` and thread-safe.
+#[derive(Debug)]
+pub struct JobQueue {
+    inner: Mutex<Inner>,
+    ready: Condvar,
+    config: QueueConfig,
+}
+
+impl JobQueue {
+    /// Open (creating if absent) the queue journaled at `path`, replaying
+    /// and applying the crash-recovery rules described at module level.
+    pub fn open(path: impl AsRef<Path>, config: QueueConfig) -> Result<Self> {
+        let (mut journal, records) = Journal::open(path)?;
+        let mut jobs: BTreeMap<u64, JobEntry> = BTreeMap::new();
+        let mut next_id = 1u64;
+        for record in records {
+            match record {
+                Record::Submitted { id, spec_json } => {
+                    let spec = JobSpec::parse_str(&spec_json)?;
+                    next_id = next_id.max(id + 1);
+                    jobs.insert(
+                        id,
+                        JobEntry {
+                            spec,
+                            state: JobState::Queued,
+                            attempts: 0,
+                            cancel_requested: false,
+                            error: None,
+                            model_version: None,
+                        },
+                    );
+                }
+                Record::Started { id, attempt } => {
+                    let e = jobs.get_mut(&id).ok_or(JobError::UnknownJob(id))?;
+                    e.state = JobState::Running;
+                    e.attempts = e.attempts.max(attempt);
+                }
+                Record::Retried { id, error } => {
+                    let e = jobs.get_mut(&id).ok_or(JobError::UnknownJob(id))?;
+                    e.state = JobState::Queued;
+                    e.error = Some(error);
+                }
+                Record::Completed { id, model_version } => {
+                    let e = jobs.get_mut(&id).ok_or(JobError::UnknownJob(id))?;
+                    e.state = JobState::Succeeded;
+                    e.model_version = Some(model_version);
+                    e.error = None;
+                    // A cancel that lost the race with completion is
+                    // moot; don't leave the flag dangling on a
+                    // succeeded job.
+                    e.cancel_requested = false;
+                }
+                Record::Failed { id, error } => {
+                    let e = jobs.get_mut(&id).ok_or(JobError::UnknownJob(id))?;
+                    e.state = JobState::Failed;
+                    e.error = Some(error);
+                }
+                Record::Cancelled { id } => {
+                    let e = jobs.get_mut(&id).ok_or(JobError::UnknownJob(id))?;
+                    e.state = JobState::Cancelled;
+                }
+                Record::CancelRequested { id } => {
+                    let e = jobs.get_mut(&id).ok_or(JobError::UnknownJob(id))?;
+                    e.cancel_requested = true;
+                }
+            }
+        }
+
+        // Crash recovery: a job that is `running` in the replay was lost
+        // with its process.
+        for (&id, entry) in jobs.iter_mut() {
+            if entry.state != JobState::Running {
+                continue;
+            }
+            if entry.cancel_requested {
+                journal.append(&Record::Cancelled { id })?;
+                entry.state = JobState::Cancelled;
+            } else if entry.attempts >= config.max_attempts {
+                let error = format!(
+                    "process died during attempt {} and the {}-attempt cap is reached",
+                    entry.attempts, config.max_attempts
+                );
+                journal.append(&Record::Failed {
+                    id,
+                    error: error.clone(),
+                })?;
+                entry.state = JobState::Failed;
+                entry.error = Some(error);
+            } else {
+                entry.state = JobState::Queued;
+            }
+        }
+
+        let heap = jobs
+            .iter()
+            .filter(|(_, e)| e.state == JobState::Queued)
+            .map(|(&id, e)| (e.spec.priority, Reverse(id)))
+            .collect();
+        Ok(Self {
+            inner: Mutex::new(Inner {
+                journal,
+                jobs,
+                heap,
+                next_id,
+                stop: false,
+            }),
+            ready: Condvar::new(),
+            config,
+        })
+    }
+
+    /// Durably enqueue a (pre-validated) spec. Returns the job id.
+    pub fn submit(&self, spec: JobSpec) -> Result<u64> {
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        let id = inner.next_id;
+        inner.journal.append(&Record::Submitted {
+            id,
+            spec_json: spec.to_json().render(),
+        })?;
+        inner.next_id += 1;
+        let priority = spec.priority;
+        inner.jobs.insert(
+            id,
+            JobEntry {
+                spec,
+                state: JobState::Queued,
+                attempts: 0,
+                cancel_requested: false,
+                error: None,
+                model_version: None,
+            },
+        );
+        inner.heap.push((priority, Reverse(id)));
+        drop(inner);
+        self.ready.notify_one();
+        Ok(id)
+    }
+
+    /// Block until a job is ready (returning a durable [`Claim`]) or
+    /// [`Self::stop_workers`] is called (returning `Ok(None)`).
+    pub fn claim(&self) -> Result<Option<Claim>> {
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        loop {
+            if inner.stop {
+                return Ok(None);
+            }
+            // Pop until a live queued entry surfaces (stale heap entries
+            // — cancelled or already-claimed ids — are skipped).
+            while let Some((priority, Reverse(id))) = inner.heap.pop() {
+                let live = inner
+                    .jobs
+                    .get(&id)
+                    .is_some_and(|e| e.state == JobState::Queued);
+                if !live {
+                    continue;
+                }
+                let attempt = {
+                    let e = inner.entry(id)?;
+                    e.attempts + 1
+                };
+                if let Err(e) = inner.journal.append(&Record::Started { id, attempt }) {
+                    // The claim never became durable: put the popped
+                    // entry back so the job stays claimable once the
+                    // journal recovers, instead of stranding it queued
+                    // with no heap reference until a restart.
+                    inner.heap.push((priority, Reverse(id)));
+                    return Err(e);
+                }
+                let e = inner.entry(id)?;
+                e.attempts = attempt;
+                e.state = JobState::Running;
+                return Ok(Some(Claim {
+                    id,
+                    attempt,
+                    spec: e.spec.clone(),
+                }));
+            }
+            inner = self.ready.wait(inner).expect("queue lock poisoned");
+        }
+    }
+
+    /// Last gate before a worker commits its result: returns `false` —
+    /// after durably cancelling the job — if a cancel request is pending,
+    /// in which case the worker must *not* register the model.
+    pub fn try_finish(&self, id: u64) -> Result<bool> {
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        let state = inner.entry(id)?.state;
+        if state != JobState::Running {
+            return Err(JobError::InvalidTransition {
+                id,
+                op: "finish",
+                state,
+            });
+        }
+        if inner.entry(id)?.cancel_requested {
+            inner.journal.append(&Record::Cancelled { id })?;
+            inner.entry(id)?.state = JobState::Cancelled;
+            return Ok(false);
+        }
+        Ok(true)
+    }
+
+    /// Mark a running job succeeded with its registered model version.
+    pub fn complete(&self, id: u64, model_version: u64) -> Result<()> {
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        let state = inner.entry(id)?.state;
+        if state != JobState::Running {
+            return Err(JobError::InvalidTransition {
+                id,
+                op: "complete",
+                state,
+            });
+        }
+        inner
+            .journal
+            .append(&Record::Completed { id, model_version })?;
+        let e = inner.entry(id)?;
+        e.state = JobState::Succeeded;
+        e.model_version = Some(model_version);
+        e.error = None;
+        // A cancel may have arrived in the publication window after the
+        // try_finish gate; it lost the race (the model is live) and the
+        // final state should say so coherently.
+        e.cancel_requested = false;
+        Ok(())
+    }
+
+    /// Record a failed attempt. Re-enqueues while attempts remain (unless
+    /// a cancel is pending); otherwise the job is terminally failed.
+    /// Returns the state the job ended up in.
+    pub fn fail(&self, id: u64, error: impl Into<String>) -> Result<JobState> {
+        let error = error.into();
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        let state = inner.entry(id)?.state;
+        if state != JobState::Running {
+            return Err(JobError::InvalidTransition {
+                id,
+                op: "fail",
+                state,
+            });
+        }
+        let (cancel_requested, attempts, priority) = {
+            let e = inner.entry(id)?;
+            (e.cancel_requested, e.attempts, e.spec.priority)
+        };
+        let new_state = if cancel_requested {
+            inner.journal.append(&Record::Cancelled { id })?;
+            let e = inner.entry(id)?;
+            e.state = JobState::Cancelled;
+            e.error = Some(error);
+            JobState::Cancelled
+        } else if attempts < self.config.max_attempts {
+            inner.journal.append(&Record::Retried {
+                id,
+                error: error.clone(),
+            })?;
+            let e = inner.entry(id)?;
+            e.state = JobState::Queued;
+            e.error = Some(error);
+            inner.heap.push((priority, Reverse(id)));
+            drop(inner);
+            self.ready.notify_one();
+            return Ok(JobState::Queued);
+        } else {
+            let full = format!(
+                "{error} (attempt {attempts} of {}; giving up)",
+                self.config.max_attempts
+            );
+            inner.journal.append(&Record::Failed {
+                id,
+                error: full.clone(),
+            })?;
+            let e = inner.entry(id)?;
+            e.state = JobState::Failed;
+            e.error = Some(full);
+            JobState::Failed
+        };
+        Ok(new_state)
+    }
+
+    /// Cancel a job; see [`CancelOutcome`] for the queued/running split.
+    pub fn cancel(&self, id: u64) -> Result<CancelOutcome> {
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        let Some(state) = inner.jobs.get(&id).map(|e| e.state) else {
+            return Ok(CancelOutcome::NotFound);
+        };
+        match state {
+            JobState::Queued => {
+                inner.journal.append(&Record::Cancelled { id })?;
+                inner.entry(id)?.state = JobState::Cancelled;
+                Ok(CancelOutcome::CancelledQueued)
+            }
+            JobState::Running => {
+                if !inner.entry(id)?.cancel_requested {
+                    inner.journal.append(&Record::CancelRequested { id })?;
+                    inner.entry(id)?.cancel_requested = true;
+                }
+                Ok(CancelOutcome::CancelRequested)
+            }
+            terminal => Ok(CancelOutcome::AlreadyTerminal(terminal)),
+        }
+    }
+
+    /// True when a cancel is pending on a running job (workers poll this
+    /// between pipeline stages).
+    pub fn cancel_requested(&self, id: u64) -> bool {
+        self.inner
+            .lock()
+            .expect("queue lock poisoned")
+            .jobs
+            .get(&id)
+            .is_some_and(|e| e.cancel_requested && e.state == JobState::Running)
+    }
+
+    /// Snapshot one job.
+    pub fn get(&self, id: u64) -> Option<JobSnapshot> {
+        let inner = self.inner.lock().expect("queue lock poisoned");
+        inner.jobs.get(&id).map(|e| snapshot(id, e))
+    }
+
+    /// Snapshot all jobs (optionally filtered by state), ordered by id.
+    pub fn list(&self, state: Option<JobState>) -> Vec<JobSnapshot> {
+        let inner = self.inner.lock().expect("queue lock poisoned");
+        inner
+            .jobs
+            .iter()
+            .filter(|(_, e)| state.is_none_or(|s| e.state == s))
+            .map(|(&id, e)| snapshot(id, e))
+            .collect()
+    }
+
+    /// Per-state counts.
+    pub fn counts(&self) -> QueueCounts {
+        let inner = self.inner.lock().expect("queue lock poisoned");
+        let mut c = QueueCounts::default();
+        for e in inner.jobs.values() {
+            match e.state {
+                JobState::Queued => c.queued += 1,
+                JobState::Running => c.running += 1,
+                JobState::Succeeded => c.succeeded += 1,
+                JobState::Failed => c.failed += 1,
+                JobState::Cancelled => c.cancelled += 1,
+            }
+        }
+        c
+    }
+
+    /// Ask blocked and future [`Self::claim`] calls to return `None`.
+    /// Workers finish their in-flight job first — that is the graceful
+    /// half of shutdown; the journal covers the ungraceful half.
+    pub fn stop_workers(&self) {
+        self.inner.lock().expect("queue lock poisoned").stop = true;
+        self.ready.notify_all();
+    }
+
+    /// The configured attempt cap.
+    pub fn max_attempts(&self) -> u32 {
+        self.config.max_attempts
+    }
+}
+
+fn snapshot(id: u64, e: &JobEntry) -> JobSnapshot {
+    JobSnapshot {
+        id,
+        spec: e.spec.clone(),
+        state: e.state,
+        attempts: e.attempts,
+        cancel_requested: e.cancel_requested,
+        error: e.error.clone(),
+        model_version: e.model_version,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_journal(name: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!(
+            "least_jobs_queue_{name}_{}.journal",
+            std::process::id()
+        ));
+        std::fs::remove_file(&p).ok();
+        p
+    }
+
+    fn spec(model: &str, priority: i64) -> JobSpec {
+        JobSpec::parse_str(&format!(
+            r#"{{"model":"{model}","source":{{"kind":"csv","path":"/tmp/x.csv"}},"priority":{priority}}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn priority_then_fifo_ordering() {
+        let path = temp_journal("order");
+        let q = JobQueue::open(&path, QueueConfig::default()).unwrap();
+        let low1 = q.submit(spec("low1", 0)).unwrap();
+        let low2 = q.submit(spec("low2", 0)).unwrap();
+        let high = q.submit(spec("high", 5)).unwrap();
+        let ids: Vec<u64> = (0..3).map(|_| q.claim().unwrap().unwrap().id).collect();
+        assert_eq!(ids, vec![high, low1, low2]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn lifecycle_submit_claim_complete() {
+        let path = temp_journal("lifecycle");
+        let q = JobQueue::open(&path, QueueConfig::default()).unwrap();
+        let id = q.submit(spec("m", 0)).unwrap();
+        assert_eq!(q.get(id).unwrap().state, JobState::Queued);
+        let claim = q.claim().unwrap().unwrap();
+        assert_eq!((claim.id, claim.attempt), (id, 1));
+        assert_eq!(q.get(id).unwrap().state, JobState::Running);
+        assert!(q.try_finish(id).unwrap());
+        q.complete(id, 7).unwrap();
+        let snap = q.get(id).unwrap();
+        assert_eq!(snap.state, JobState::Succeeded);
+        assert_eq!(snap.model_version, Some(7));
+        // Double-complete is an invalid transition.
+        assert!(matches!(
+            q.complete(id, 8),
+            Err(JobError::InvalidTransition { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fail_retries_until_cap_then_fails() {
+        let path = temp_journal("retries");
+        let q = JobQueue::open(&path, QueueConfig { max_attempts: 2 }).unwrap();
+        let id = q.submit(spec("m", 0)).unwrap();
+        assert_eq!(q.claim().unwrap().unwrap().attempt, 1);
+        assert_eq!(q.fail(id, "boom").unwrap(), JobState::Queued);
+        assert_eq!(q.claim().unwrap().unwrap().attempt, 2);
+        assert_eq!(q.fail(id, "boom again").unwrap(), JobState::Failed);
+        let snap = q.get(id).unwrap();
+        assert_eq!(snap.attempts, 2);
+        assert!(snap.error.unwrap().contains("giving up"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn cancel_queued_vs_running_vs_terminal() {
+        let path = temp_journal("cancel");
+        let q = JobQueue::open(&path, QueueConfig::default()).unwrap();
+        let a = q.submit(spec("a", 0)).unwrap();
+        let b = q.submit(spec("b", -1)).unwrap();
+        // Queued: immediate.
+        assert_eq!(q.cancel(b).unwrap(), CancelOutcome::CancelledQueued);
+        assert_eq!(q.get(b).unwrap().state, JobState::Cancelled);
+        // Running: request + worker observation via try_finish.
+        let claim = q.claim().unwrap().unwrap();
+        assert_eq!(claim.id, a);
+        assert_eq!(q.cancel(a).unwrap(), CancelOutcome::CancelRequested);
+        assert!(q.cancel_requested(a));
+        assert!(!q.try_finish(a).unwrap(), "worker must drop the result");
+        assert_eq!(q.get(a).unwrap().state, JobState::Cancelled);
+        // Terminal: conflict.
+        assert_eq!(
+            q.cancel(a).unwrap(),
+            CancelOutcome::AlreadyTerminal(JobState::Cancelled)
+        );
+        assert_eq!(q.cancel(999).unwrap(), CancelOutcome::NotFound);
+        // The cancelled-when-queued job never reaches a worker.
+        q.stop_workers();
+        assert!(q.claim().unwrap().is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn restart_requeues_crashed_job_and_respects_cap() {
+        let path = temp_journal("restart");
+        {
+            let q = JobQueue::open(&path, QueueConfig { max_attempts: 2 }).unwrap();
+            let id = q.submit(spec("m", 0)).unwrap();
+            let claim = q.claim().unwrap().unwrap();
+            assert_eq!((claim.id, claim.attempt), (id, 1));
+            // Process dies here: no terminal record.
+        }
+        {
+            let q = JobQueue::open(&path, QueueConfig { max_attempts: 2 }).unwrap();
+            let snap = &q.list(None)[0];
+            assert_eq!(snap.state, JobState::Queued, "crashed job re-enqueued");
+            assert_eq!(snap.attempts, 1);
+            let claim = q.claim().unwrap().unwrap();
+            assert_eq!(claim.attempt, 2, "exactly one more attempt");
+            // Dies again, now at the cap.
+        }
+        {
+            let q = JobQueue::open(&path, QueueConfig { max_attempts: 2 }).unwrap();
+            let snap = &q.list(None)[0];
+            assert_eq!(snap.state, JobState::Failed);
+            assert!(snap.error.as_ref().unwrap().contains("cap"));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn restart_honors_pending_cancel_on_crashed_job() {
+        let path = temp_journal("restart_cancel");
+        {
+            let q = JobQueue::open(&path, QueueConfig::default()).unwrap();
+            let id = q.submit(spec("m", 0)).unwrap();
+            q.claim().unwrap().unwrap();
+            assert_eq!(q.cancel(id).unwrap(), CancelOutcome::CancelRequested);
+            // Crash before the worker observes the cancel.
+        }
+        let q = JobQueue::open(&path, QueueConfig::default()).unwrap();
+        assert_eq!(q.list(None)[0].state, JobState::Cancelled);
+        assert_eq!(q.counts().cancelled, 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn terminal_history_survives_restart() {
+        let path = temp_journal("history");
+        {
+            let q = JobQueue::open(&path, QueueConfig::default()).unwrap();
+            let id = q.submit(spec("m", 0)).unwrap();
+            q.claim().unwrap().unwrap();
+            q.complete(id, 42).unwrap();
+        }
+        let q = JobQueue::open(&path, QueueConfig::default()).unwrap();
+        let snap = q.get(1).unwrap();
+        assert_eq!(snap.state, JobState::Succeeded);
+        assert_eq!(snap.model_version, Some(42));
+        assert_eq!(snap.spec.model, "m");
+        // And new submissions keep ids monotonic.
+        let id2 = q.submit(spec("m2", 0)).unwrap();
+        assert_eq!(id2, 2);
+        std::fs::remove_file(&path).ok();
+    }
+}

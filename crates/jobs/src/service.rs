@@ -1,0 +1,204 @@
+//! [`JobService`]: the HTTP face of the queue, mounted onto the existing
+//! model server through `least_serve`'s [`RouteExt`] hook — one process,
+//! one port, one registry serves both queries and training jobs.
+//!
+//! Routes (all JSON):
+//!
+//! | method | path                | body      | response                    |
+//! |--------|---------------------|-----------|-----------------------------|
+//! | POST   | `/jobs`             | [`JobSpec`] | 201 id + state, 400 on bad spec |
+//! | GET    | `/jobs`             | —         | listing (+ per-state counts); `?state=queued` filters |
+//! | GET    | `/jobs/{id}`        | —         | job snapshot, 404 unknown   |
+//! | POST   | `/jobs/{id}/cancel` | —         | 200 cancelled / 202 requested / 409 terminal / 404 |
+
+use crate::queue::{CancelOutcome, JobQueue, JobSnapshot};
+use crate::spec::JobSpec;
+use least_serve::http::Request;
+use least_serve::json::{parse as parse_json, JsonValue};
+use least_serve::RouteExt;
+use std::sync::Arc;
+
+/// Routes `/jobs` requests to a [`JobQueue`].
+#[derive(Debug)]
+pub struct JobService {
+    queue: Arc<JobQueue>,
+}
+
+impl JobService {
+    /// Wrap a queue for mounting via [`least_serve::Server::bind_with_ext`].
+    pub fn new(queue: Arc<JobQueue>) -> Self {
+        Self { queue }
+    }
+
+    fn submit(&self, body: &[u8]) -> (u16, JsonValue) {
+        let spec = std::str::from_utf8(body)
+            .map_err(|_| "body is not utf-8".to_string())
+            .and_then(|text| {
+                parse_json(text)
+                    .map_err(|e| format!("body is not valid JSON: {e}"))
+                    .and_then(|json| JobSpec::from_json(&json).map_err(|e| e.to_string()))
+            });
+        match spec {
+            Err(msg) => error(400, &msg),
+            Ok(spec) => {
+                let model = spec.model.clone();
+                match self.queue.submit(spec) {
+                    Ok(id) => (
+                        201,
+                        JsonValue::obj(vec![
+                            ("id", JsonValue::Num(id as f64)),
+                            ("model", JsonValue::Str(model)),
+                            ("state", JsonValue::Str("queued".into())),
+                        ]),
+                    ),
+                    Err(e) => error(500, &format!("enqueue failed: {e}")),
+                }
+            }
+        }
+    }
+
+    fn list(&self, query: &str) -> (u16, JsonValue) {
+        let mut filter = None;
+        for pair in query.split('&').filter(|p| !p.is_empty()) {
+            match pair.split_once('=') {
+                Some(("state", value)) => match crate::queue::JobState::parse(value) {
+                    Some(state) => filter = Some(state),
+                    None => {
+                        return error(
+                            400,
+                            &format!(
+                                "unknown state '{value}' (expected queued | running | \
+                                 succeeded | failed | cancelled)"
+                            ),
+                        )
+                    }
+                },
+                _ => return error(400, &format!("unknown query parameter '{pair}'")),
+            }
+        }
+        let jobs = self
+            .queue
+            .list(filter)
+            .iter()
+            .map(job_json)
+            .collect::<Vec<_>>();
+        let c = self.queue.counts();
+        (
+            200,
+            JsonValue::obj(vec![
+                ("jobs", JsonValue::Arr(jobs)),
+                (
+                    "counts",
+                    JsonValue::obj(vec![
+                        ("queued", JsonValue::Num(c.queued as f64)),
+                        ("running", JsonValue::Num(c.running as f64)),
+                        ("succeeded", JsonValue::Num(c.succeeded as f64)),
+                        ("failed", JsonValue::Num(c.failed as f64)),
+                        ("cancelled", JsonValue::Num(c.cancelled as f64)),
+                    ]),
+                ),
+            ]),
+        )
+    }
+
+    fn get(&self, id: &str) -> (u16, JsonValue) {
+        match parse_id(id) {
+            None => error(404, &format!("no job '{id}'")),
+            Some(id) => match self.queue.get(id) {
+                Some(snapshot) => (200, job_json(&snapshot)),
+                None => error(404, &format!("no job '{id}'")),
+            },
+        }
+    }
+
+    fn cancel(&self, id: &str) -> (u16, JsonValue) {
+        let Some(id) = parse_id(id) else {
+            return error(404, &format!("no job '{id}'"));
+        };
+        match self.queue.cancel(id) {
+            Err(e) => error(500, &format!("cancel failed: {e}")),
+            Ok(CancelOutcome::NotFound) => error(404, &format!("no job '{id}'")),
+            Ok(CancelOutcome::CancelledQueued) => (
+                200,
+                JsonValue::obj(vec![
+                    ("id", JsonValue::Num(id as f64)),
+                    ("state", JsonValue::Str("cancelled".into())),
+                ]),
+            ),
+            Ok(CancelOutcome::CancelRequested) => (
+                202,
+                JsonValue::obj(vec![
+                    ("id", JsonValue::Num(id as f64)),
+                    ("state", JsonValue::Str("running".into())),
+                    ("cancel_requested", JsonValue::Bool(true)),
+                ]),
+            ),
+            Ok(CancelOutcome::AlreadyTerminal(state)) => (
+                409,
+                JsonValue::obj(vec![
+                    (
+                        "error",
+                        JsonValue::Str(format!("job {id} is already {}", state.as_str())),
+                    ),
+                    ("state", JsonValue::Str(state.as_str().into())),
+                ]),
+            ),
+        }
+    }
+}
+
+impl RouteExt for JobService {
+    fn route(&self, request: &Request) -> Option<(u16, JsonValue)> {
+        let (path, query) = request
+            .path
+            .split_once('?')
+            .unwrap_or((request.path.as_str(), ""));
+        let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+        match (request.method.as_str(), segments.as_slice()) {
+            ("POST", ["jobs"]) => Some(self.submit(&request.body)),
+            ("GET", ["jobs"]) => Some(self.list(query)),
+            ("GET", ["jobs", id]) => Some(self.get(id)),
+            ("POST", ["jobs", id, "cancel"]) => Some(self.cancel(id)),
+            (_, ["jobs", ..]) => Some(error(405, "method not allowed")),
+            _ => None,
+        }
+    }
+}
+
+fn parse_id(s: &str) -> Option<u64> {
+    s.parse::<u64>().ok()
+}
+
+fn error(status: u16, msg: &str) -> (u16, JsonValue) {
+    (
+        status,
+        JsonValue::obj(vec![("error", JsonValue::Str(msg.into()))]),
+    )
+}
+
+/// Render one job snapshot for the wire.
+fn job_json(snapshot: &JobSnapshot) -> JsonValue {
+    let mut pairs = vec![
+        ("id", JsonValue::Num(snapshot.id as f64)),
+        ("model", JsonValue::Str(snapshot.spec.model.clone())),
+        ("state", JsonValue::Str(snapshot.state.as_str().into())),
+        ("attempts", JsonValue::Num(snapshot.attempts as f64)),
+        ("priority", JsonValue::Num(snapshot.spec.priority as f64)),
+        (
+            "backend",
+            JsonValue::Str(snapshot.spec.backend.as_str().into()),
+        ),
+        (
+            "cancel_requested",
+            JsonValue::Bool(snapshot.cancel_requested),
+        ),
+        ("spec", snapshot.spec.to_json()),
+    ];
+    if let Some(error) = &snapshot.error {
+        pairs.push(("error", JsonValue::Str(error.clone())));
+    }
+    if let Some(version) = snapshot.model_version {
+        pairs.push(("model_version", JsonValue::Num(version as f64)));
+    }
+    JsonValue::obj(pairs)
+}

@@ -1,0 +1,496 @@
+//! [`JobSpec`]: the unit of work the orchestration layer accepts.
+//!
+//! A spec names a data source (CSV / `LEASTDAT` binary / `LEASTSST`
+//! statistics artifact), a solver backend, a [`LeastConfig`] (defaults
+//! plus explicit overrides), and the model id the result is registered
+//! under. Specs arrive as JSON over `POST /jobs` and are persisted
+//! verbatim-equivalent into the queue journal, so parse ∘ render is the
+//! identity on every accepted spec.
+//!
+//! Everything is validated *here*, at submit time — including the full
+//! [`LeastConfig::validate`] pass — so a malformed job fails with a 400
+//! instead of burning a worker attempt on it.
+
+use least_core::{ConfigError, LeastConfig};
+use least_serve::json::{parse as parse_json, JsonValue};
+use std::fmt;
+use std::path::PathBuf;
+
+/// Why a [`JobSpec`] was rejected at submit time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// The body is not a JSON object, or not valid JSON at all.
+    NotAnObject(String),
+    /// A required field is absent.
+    MissingField(&'static str),
+    /// A field is present but unusable; carries the field name and why.
+    BadField {
+        /// Dotted field path, e.g. `"source.kind"`.
+        field: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A field this protocol does not know — almost always a typo, and a
+    /// typo'd override silently falling back to a default would be worse
+    /// than a rejection.
+    UnknownField(String),
+    /// The resolved solver configuration failed [`LeastConfig::validate`].
+    Config(ConfigError),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::NotAnObject(msg) => write!(f, "spec must be a JSON object: {msg}"),
+            SpecError::MissingField(name) => write!(f, "missing required field '{name}'"),
+            SpecError::BadField { field, reason } => write!(f, "field '{field}': {reason}"),
+            SpecError::UnknownField(name) => write!(f, "unknown field '{name}'"),
+            SpecError::Config(e) => write!(f, "config: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<ConfigError> for SpecError {
+    fn from(e: ConfigError) -> Self {
+        SpecError::Config(e)
+    }
+}
+
+/// Where the training data comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobSource {
+    /// Stream a CSV file (header line required) through `least-ingest`.
+    Csv(PathBuf),
+    /// Stream a `LEASTDAT` binary file through `least-ingest`.
+    Binary(PathBuf),
+    /// Load a precomputed `LEASTSST` sufficient-statistics artifact —
+    /// the restart-friendly path: no pass over the raw data at all.
+    Stats(PathBuf),
+}
+
+impl JobSource {
+    /// Wire name of the source kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JobSource::Csv(_) => "csv",
+            JobSource::Binary(_) => "binary",
+            JobSource::Stats(_) => "stats",
+        }
+    }
+
+    /// The backing file path.
+    pub fn path(&self) -> &PathBuf {
+        match self {
+            JobSource::Csv(p) | JobSource::Binary(p) | JobSource::Stats(p) => p,
+        }
+    }
+}
+
+/// Which solver backend executes the job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobBackend {
+    /// `LeastDense` (LEAST-TF analogue).
+    Dense,
+    /// `LeastSparse` (LEAST-SP); requires `config.init_density`.
+    Sparse,
+}
+
+impl JobBackend {
+    /// Wire name of the backend.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobBackend::Dense => "dense",
+            JobBackend::Sparse => "sparse",
+        }
+    }
+}
+
+/// A fully validated training job: parseable from and renderable to the
+/// wire/journal JSON shape.
+///
+/// ```
+/// use least_jobs::JobSpec;
+/// let spec = JobSpec::parse_str(
+///     r#"{"model":"demo","source":{"kind":"csv","path":"/tmp/x.csv"},
+///         "config":{"lambda":0.05,"max_outer":6}}"#,
+/// )
+/// .unwrap();
+/// assert_eq!(spec.model, "demo");
+/// assert_eq!(spec.config.lambda, 0.05);
+/// let round_trip = JobSpec::parse_str(&spec.to_json().render()).unwrap();
+/// assert_eq!(round_trip, spec);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Model id the result is registered under (`[A-Za-z0-9._-]+`).
+    pub model: String,
+    /// Training data source.
+    pub source: JobSource,
+    /// Solver backend (default dense).
+    pub backend: JobBackend,
+    /// Edge filter `τ` applied to the learned weights before parameter
+    /// fitting (default 0.3, the benchmark post-filter).
+    pub threshold: f64,
+    /// Scheduling priority: higher runs first; FIFO within a priority.
+    pub priority: i64,
+    /// Fully resolved solver configuration (defaults + overrides),
+    /// already validated for the chosen backend.
+    pub config: LeastConfig,
+}
+
+/// The `config` override keys the protocol accepts, in wire order.
+const CONFIG_KEYS: [&str; 14] = [
+    "k",
+    "alpha",
+    "lambda",
+    "epsilon",
+    "init_density",
+    "batch_size",
+    "theta",
+    "max_outer",
+    "max_inner",
+    "inner_tol",
+    "inner_patience",
+    "rho_growth",
+    "learning_rate",
+    "seed",
+];
+
+const TOP_KEYS: [&str; 6] = [
+    "model",
+    "source",
+    "backend",
+    "threshold",
+    "priority",
+    "config",
+];
+
+/// Exact integers survive a JSON `f64` only below 2⁵³; larger seeds or
+/// priorities would silently round, so they are rejected instead.
+const MAX_EXACT: f64 = 9_007_199_254_740_992.0; // 2^53
+
+fn bad(field: impl Into<String>, reason: impl Into<String>) -> SpecError {
+    SpecError::BadField {
+        field: field.into(),
+        reason: reason.into(),
+    }
+}
+
+fn num_field(v: &JsonValue, field: &str) -> Result<f64, SpecError> {
+    v.as_f64().ok_or_else(|| bad(field, "must be a number"))
+}
+
+fn usize_field(v: &JsonValue, field: &str) -> Result<usize, SpecError> {
+    v.as_usize()
+        .filter(|&u| (u as f64) < MAX_EXACT)
+        .ok_or_else(|| bad(field, "must be a non-negative integer below 2^53"))
+}
+
+impl JobSpec {
+    /// Parse and fully validate a spec from JSON text.
+    pub fn parse_str(text: &str) -> Result<Self, SpecError> {
+        let json = parse_json(text).map_err(SpecError::NotAnObject)?;
+        Self::from_json(&json)
+    }
+
+    /// Parse and fully validate a spec from a decoded JSON value.
+    pub fn from_json(json: &JsonValue) -> Result<Self, SpecError> {
+        let JsonValue::Obj(map) = json else {
+            return Err(SpecError::NotAnObject("got a non-object value".into()));
+        };
+        if let Some(key) = map.keys().find(|k| !TOP_KEYS.contains(&k.as_str())) {
+            return Err(SpecError::UnknownField(key.clone()));
+        }
+
+        let model = json
+            .get("model")
+            .ok_or(SpecError::MissingField("model"))?
+            .as_str()
+            .ok_or_else(|| bad("model", "must be a string"))?
+            .to_string();
+        if model.is_empty() || model.len() > 128 {
+            return Err(bad("model", "must be 1..=128 characters"));
+        }
+        if !model
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-'))
+        {
+            return Err(bad(
+                "model",
+                "may only contain ASCII letters, digits, '.', '_', '-'",
+            ));
+        }
+
+        let source = Self::parse_source(
+            json.get("source")
+                .ok_or(SpecError::MissingField("source"))?,
+        )?;
+
+        let backend = match json.get("backend") {
+            None => JobBackend::Dense,
+            Some(v) => match v.as_str() {
+                Some("dense") => JobBackend::Dense,
+                Some("sparse") => JobBackend::Sparse,
+                _ => return Err(bad("backend", "must be \"dense\" or \"sparse\"")),
+            },
+        };
+
+        let threshold = match json.get("threshold") {
+            None => 0.3,
+            Some(v) => {
+                let t = num_field(v, "threshold")?;
+                if !(t.is_finite() && t >= 0.0) {
+                    return Err(bad("threshold", "must be a finite number >= 0"));
+                }
+                t
+            }
+        };
+
+        let priority = match json.get("priority") {
+            None => 0,
+            Some(v) => {
+                let p = num_field(v, "priority")?;
+                if p.fract() != 0.0 || p.abs() >= MAX_EXACT {
+                    return Err(bad("priority", "must be an integer with |p| < 2^53"));
+                }
+                p as i64
+            }
+        };
+
+        let config = Self::parse_config(json.get("config"))?;
+        match backend {
+            JobBackend::Dense => config.validate()?,
+            JobBackend::Sparse => config.validate_sparse()?,
+        }
+
+        Ok(Self {
+            model,
+            source,
+            backend,
+            threshold,
+            priority,
+            config,
+        })
+    }
+
+    fn parse_source(v: &JsonValue) -> Result<JobSource, SpecError> {
+        let JsonValue::Obj(map) = v else {
+            return Err(bad("source", "must be an object {kind, path}"));
+        };
+        if let Some(key) = map.keys().find(|k| !matches!(k.as_str(), "kind" | "path")) {
+            return Err(SpecError::UnknownField(format!("source.{key}")));
+        }
+        let kind = v
+            .get("kind")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| bad("source.kind", "must be a string"))?;
+        let path = v
+            .get("path")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| bad("source.path", "must be a string"))?;
+        if path.is_empty() {
+            return Err(bad("source.path", "must not be empty"));
+        }
+        let path = PathBuf::from(path);
+        match kind {
+            "csv" => Ok(JobSource::Csv(path)),
+            "binary" => Ok(JobSource::Binary(path)),
+            "stats" => Ok(JobSource::Stats(path)),
+            other => Err(bad(
+                "source.kind",
+                format!("unknown kind '{other}' (expected csv | binary | stats)"),
+            )),
+        }
+    }
+
+    fn parse_config(v: Option<&JsonValue>) -> Result<LeastConfig, SpecError> {
+        let mut cfg = LeastConfig::default();
+        let Some(v) = v else { return Ok(cfg) };
+        let JsonValue::Obj(map) = v else {
+            return Err(bad("config", "must be an object"));
+        };
+        for (key, value) in map {
+            let field = format!("config.{key}");
+            match key.as_str() {
+                "k" => cfg.k = usize_field(value, &field)?,
+                "alpha" => cfg.alpha = num_field(value, &field)?,
+                "lambda" => cfg.lambda = num_field(value, &field)?,
+                "epsilon" => cfg.epsilon = num_field(value, &field)?,
+                "init_density" => {
+                    cfg.init_density = match value {
+                        JsonValue::Null => None,
+                        v => Some(num_field(v, &field)?),
+                    }
+                }
+                "batch_size" => {
+                    cfg.batch_size = match value {
+                        JsonValue::Null => None,
+                        v => Some(usize_field(v, &field)?),
+                    }
+                }
+                "theta" => cfg.theta = num_field(value, &field)?,
+                "max_outer" => cfg.max_outer = usize_field(value, &field)?,
+                "max_inner" => cfg.max_inner = usize_field(value, &field)?,
+                "inner_tol" => cfg.inner_tol = num_field(value, &field)?,
+                "inner_patience" => cfg.inner_patience = usize_field(value, &field)?,
+                "rho_growth" => cfg.rho_growth = num_field(value, &field)?,
+                "learning_rate" => cfg.adam.learning_rate = num_field(value, &field)?,
+                "seed" => cfg.seed = usize_field(value, &field)? as u64,
+                _ => return Err(SpecError::UnknownField(field)),
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// Render the spec back to its wire shape. Every accepted spec
+    /// round-trips exactly: `from_json(to_json(s)) == s` (f64 values use
+    /// Rust's shortest-round-trip formatting).
+    pub fn to_json(&self) -> JsonValue {
+        let c = &self.config;
+        let mut config_pairs: Vec<(&str, JsonValue)> = vec![
+            ("k", JsonValue::Num(c.k as f64)),
+            ("alpha", JsonValue::Num(c.alpha)),
+            ("lambda", JsonValue::Num(c.lambda)),
+            ("epsilon", JsonValue::Num(c.epsilon)),
+            ("theta", JsonValue::Num(c.theta)),
+            ("max_outer", JsonValue::Num(c.max_outer as f64)),
+            ("max_inner", JsonValue::Num(c.max_inner as f64)),
+            ("inner_tol", JsonValue::Num(c.inner_tol)),
+            ("inner_patience", JsonValue::Num(c.inner_patience as f64)),
+            ("rho_growth", JsonValue::Num(c.rho_growth)),
+            ("learning_rate", JsonValue::Num(c.adam.learning_rate)),
+            ("seed", JsonValue::Num(c.seed as f64)),
+        ];
+        if let Some(zeta) = c.init_density {
+            config_pairs.push(("init_density", JsonValue::Num(zeta)));
+        }
+        if let Some(b) = c.batch_size {
+            config_pairs.push(("batch_size", JsonValue::Num(b as f64)));
+        }
+        debug_assert!(config_pairs.iter().all(|(k, _)| CONFIG_KEYS.contains(k)));
+        JsonValue::obj(vec![
+            ("model", JsonValue::Str(self.model.clone())),
+            (
+                "source",
+                JsonValue::obj(vec![
+                    ("kind", JsonValue::Str(self.source.kind().into())),
+                    (
+                        "path",
+                        JsonValue::Str(self.source.path().to_string_lossy().into_owned()),
+                    ),
+                ]),
+            ),
+            ("backend", JsonValue::Str(self.backend.as_str().into())),
+            ("threshold", JsonValue::Num(self.threshold)),
+            ("priority", JsonValue::Num(self.priority as f64)),
+            ("config", JsonValue::obj(config_pairs)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal(extra: &str) -> String {
+        format!(r#"{{"model":"m","source":{{"kind":"csv","path":"/tmp/x.csv"}}{extra}}}"#)
+    }
+
+    #[test]
+    fn minimal_spec_gets_defaults() {
+        let spec = JobSpec::parse_str(&minimal("")).unwrap();
+        assert_eq!(spec.backend, JobBackend::Dense);
+        assert_eq!(spec.threshold, 0.3);
+        assert_eq!(spec.priority, 0);
+        assert_eq!(spec.config.k, LeastConfig::default().k);
+        assert_eq!(spec.source, JobSource::Csv(PathBuf::from("/tmp/x.csv")));
+    }
+
+    #[test]
+    fn full_spec_round_trips_exactly() {
+        let text = r#"{
+            "model": "fraud.v2",
+            "source": {"kind": "stats", "path": "/data/fraud.sst"},
+            "backend": "sparse",
+            "threshold": 0.25,
+            "priority": -3,
+            "config": {
+                "k": 4, "alpha": 0.85, "lambda": 0.05, "epsilon": 1e-6,
+                "init_density": 0.01, "batch_size": 512, "theta": 0.001,
+                "max_outer": 12, "max_inner": 300, "inner_tol": 1e-7,
+                "inner_patience": 4, "rho_growth": 8.5,
+                "learning_rate": 0.02, "seed": 42
+            }
+        }"#;
+        let spec = JobSpec::parse_str(text).unwrap();
+        assert_eq!(spec.backend, JobBackend::Sparse);
+        assert_eq!(spec.config.init_density, Some(0.01));
+        assert_eq!(spec.config.adam.learning_rate, 0.02);
+        assert_eq!(spec.config.seed, 42);
+        let round = JobSpec::parse_str(&spec.to_json().render()).unwrap();
+        assert_eq!(round, spec);
+        // And render is a fixed point.
+        assert_eq!(round.to_json().render(), spec.to_json().render());
+    }
+
+    #[test]
+    fn rejects_missing_and_malformed_fields() {
+        for (body, needle) in [
+            ("[]", "non-object"),
+            ("not json", "JSON"),
+            (r#"{"source":{"kind":"csv","path":"p"}}"#, "'model'"),
+            (r#"{"model":"m"}"#, "'source'"),
+            (&minimal(r#","backend":"gpu""#), "dense"),
+            (&minimal(r#","threshold":-1"#), "threshold"),
+            (&minimal(r#","priority":1.5"#), "priority"),
+            (&minimal(r#","bogus":1"#), "bogus"),
+            (&minimal(r#","config":{"nope":1}"#), "config.nope"),
+            (&minimal(r#","config":{"seed":-1}"#), "config.seed"),
+            (
+                r#"{"model":"m","source":{"kind":"ftp","path":"p"}}"#,
+                "unknown kind",
+            ),
+            (
+                r#"{"model":"m","source":{"kind":"csv","path":""}}"#,
+                "empty",
+            ),
+            (
+                r#"{"model":"../evil","source":{"kind":"csv","path":"p"}}"#,
+                "ASCII",
+            ),
+            (
+                r#"{"model":"","source":{"kind":"csv","path":"p"}}"#,
+                "1..=128",
+            ),
+        ] {
+            let err = JobSpec::parse_str(body).unwrap_err().to_string();
+            assert!(err.contains(needle), "body {body:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn config_validation_runs_at_parse_time() {
+        let err = JobSpec::parse_str(&minimal(r#","config":{"alpha":2.0}"#)).unwrap_err();
+        assert!(matches!(
+            err,
+            SpecError::Config(ConfigError::OutOfRange { field: "alpha", .. })
+        ));
+        let err = JobSpec::parse_str(&minimal(r#","config":{"max_inner":0}"#)).unwrap_err();
+        assert!(matches!(
+            err,
+            SpecError::Config(ConfigError::ZeroBudget { .. })
+        ));
+        // Sparse backend demands an init density at submit time.
+        let err = JobSpec::parse_str(&minimal(r#","backend":"sparse""#)).unwrap_err();
+        assert!(matches!(
+            err,
+            SpecError::Config(ConfigError::MissingInitDensity)
+        ));
+        JobSpec::parse_str(&minimal(
+            r#","backend":"sparse","config":{"init_density":0.1}"#,
+        ))
+        .unwrap();
+    }
+}

@@ -1,0 +1,133 @@
+//! Shared helpers for the job-orchestration integration tests.
+
+use least_data::{export_csv, sample_lsem_dataset, NoiseModel};
+use least_jobs::{JobQueue, JobRunner, JobService, QueueConfig, RunnerConfig};
+use least_linalg::{DenseMatrix, Xoshiro256pp};
+use least_serve::json::{parse as parse_json, JsonValue};
+use least_serve::{HttpClient, ModelRegistry, RouteExt, Server, ServerConfig};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Unique temp path (per test name and process).
+pub fn temp_path(name: &str, suffix: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "least_jobs_it_{name}_{}{suffix}",
+        std::process::id()
+    ))
+}
+
+/// Write a chain-SEM CSV (`x0 → x1 → ... → x{d-1}`, weight 1.2) with `n`
+/// rows; returns its path.
+pub fn chain_csv(name: &str, d: usize, n: usize, seed: u64) -> PathBuf {
+    let mut w = DenseMatrix::zeros(d, d);
+    for i in 0..d - 1 {
+        w[(i, i + 1)] = 1.2;
+    }
+    let mut rng = Xoshiro256pp::new(seed);
+    let data = sample_lsem_dataset(&w, n, NoiseModel::standard_gaussian(), &mut rng)
+        .expect("chain is acyclic");
+    let path = temp_path(name, ".csv");
+    export_csv(&data, &path).expect("export csv");
+    path
+}
+
+/// A spec body for a quick dense job over `csv` (debug-build friendly).
+pub fn quick_spec(model: &str, csv: &std::path::Path) -> String {
+    format!(
+        r#"{{"model":"{model}","source":{{"kind":"csv","path":{:?}}},
+            "config":{{"max_outer":4,"max_inner":80,"seed":11,
+                       "learning_rate":0.02,"lambda":0.05}}}}"#,
+        csv.display().to_string()
+    )
+}
+
+/// Boot queue + registry + `workers` job workers + HTTP server on an
+/// ephemeral port, run `f`, then shut everything down (propagating
+/// panics). The queue/registry Arcs are handed to `f` for white-box
+/// assertions next to the black-box HTTP ones.
+#[allow(dead_code)] // each test binary uses its own subset of helpers
+pub fn with_job_server(
+    journal: &std::path::Path,
+    queue_config: QueueConfig,
+    workers: usize,
+    f: impl FnOnce(SocketAddr, &Arc<JobQueue>, &Arc<ModelRegistry>) + Send,
+) {
+    let queue = Arc::new(JobQueue::open(journal, queue_config).expect("open journal"));
+    let registry = Arc::new(ModelRegistry::new());
+    let runner = JobRunner::new(
+        Arc::clone(&queue),
+        Arc::clone(&registry),
+        RunnerConfig {
+            workers,
+            artifact_dir: None,
+        },
+    );
+    let service: Arc<dyn RouteExt> = Arc::new(JobService::new(Arc::clone(&queue)));
+    let server = Server::bind_with_ext(
+        "127.0.0.1:0",
+        Arc::clone(&registry),
+        ServerConfig::default(),
+        Some(service),
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    let handle = server.shutdown_handle();
+    std::thread::scope(|scope| {
+        let server_thread = scope.spawn(move || server.serve().expect("serve"));
+        let worker_thread = (workers > 0).then(|| scope.spawn(|| runner.run()));
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(addr, &queue, &registry)));
+        queue.stop_workers();
+        handle.shutdown();
+        server_thread.join().expect("server thread");
+        if let Some(t) = worker_thread {
+            t.join().expect("worker thread");
+        }
+        if let Err(p) = result {
+            std::panic::resume_unwind(p);
+        }
+    });
+}
+
+/// Decode a response body as JSON.
+pub fn parse_body(body: &[u8]) -> JsonValue {
+    parse_json(std::str::from_utf8(body).expect("utf-8 body")).expect("json body")
+}
+
+/// One request on a fresh connection (robust across server restarts).
+pub fn request_once(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> (u16, JsonValue) {
+    let mut client = HttpClient::connect(addr).expect("connect");
+    let (status, body) = client.request(method, path, body).expect("request");
+    (status, parse_body(&body))
+}
+
+/// Poll `GET /jobs/{id}` until its state is in `until` (or terminal),
+/// returning the final snapshot. Panics after `timeout`.
+pub fn poll_job(addr: SocketAddr, id: u64, until: &[&str], timeout: Duration) -> JsonValue {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let (status, snapshot) = request_once(addr, "GET", &format!("/jobs/{id}"), b"");
+        assert_eq!(status, 200, "job {id} vanished: {}", snapshot.render());
+        let state = snapshot
+            .get("state")
+            .and_then(JsonValue::as_str)
+            .expect("state field")
+            .to_string();
+        if until.contains(&state.as_str()) {
+            return snapshot;
+        }
+        assert!(
+            !matches!(state.as_str(), "succeeded" | "failed" | "cancelled"),
+            "job {id} reached terminal state '{state}' while waiting for {until:?}: {}",
+            snapshot.render()
+        );
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for job {id} to reach {until:?}; last: {}",
+            snapshot.render()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}

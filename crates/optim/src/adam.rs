@@ -8,7 +8,7 @@
 //! paper's thresholding step deletes parameters mid-run.
 
 /// Adam hyper-parameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AdamConfig {
     /// Step size (paper setting: 0.01).
     pub learning_rate: f64,

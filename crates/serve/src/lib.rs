@@ -58,4 +58,4 @@ pub use error::{Result, ServeError};
 pub use http::HttpClient;
 pub use json::JsonValue;
 pub use query::{Gaussian, QueryEngine};
-pub use server::{ModelRegistry, ServedModel, Server, ServerConfig, ShutdownHandle};
+pub use server::{ModelRegistry, RouteExt, ServedModel, Server, ServerConfig, ShutdownHandle};

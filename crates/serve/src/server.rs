@@ -16,8 +16,15 @@
 //! | GET    | `/healthz`            | —                 | liveness + counts   |
 //! | GET    | `/models`             | —                 | model listing       |
 //! | PUT    | `/models/{id}`        | artifact bytes    | registration report |
+//! | DELETE | `/models/{id}`        | —                 | eviction report     |
 //! | POST   | `/models/{id}/query`  | JSON query        | JSON answer         |
 //! | POST   | `/shutdown`           | —                 | ack, then drain     |
+//!
+//! Subsystems can mount additional routes without `serve` depending on
+//! them by passing a [`RouteExt`] to [`Server::bind_with_ext`] — the
+//! extension is consulted first, unmatched requests fall through to the
+//! built-in table. This is how `least-jobs` adds its `/jobs` endpoints
+//! onto the *same* server (and registry) that answers model queries.
 
 use crate::artifact::ModelArtifact;
 use crate::error::ServeError;
@@ -39,13 +46,19 @@ pub struct ServedModel {
     pub artifact: ModelArtifact,
     /// Engine compiled at registration time.
     pub engine: QueryEngine,
+    /// Registry-wide monotonic registration version: every successful
+    /// insert — including replacing an existing id — gets a strictly
+    /// larger version, so consumers (and the job layer's hot
+    /// re-registrations) can tell stale reads from fresh ones.
+    pub version: u64,
 }
 
 /// Concurrent model registry. Reads (queries, listings) take the shared
-/// lock; writes (uploads) the exclusive one.
+/// lock; writes (uploads, evictions) the exclusive one.
 #[derive(Debug, Default)]
 pub struct ModelRegistry {
     models: RwLock<HashMap<String, Arc<ServedModel>>>,
+    next_version: std::sync::atomic::AtomicU64,
 }
 
 impl ModelRegistry {
@@ -55,15 +68,42 @@ impl ModelRegistry {
     }
 
     /// Compile and register a model under `id`, replacing any previous
-    /// model with that id.
-    pub fn insert(&self, id: &str, artifact: ModelArtifact) -> crate::error::Result<()> {
+    /// model with that id. Returns the assigned (monotonic) version.
+    pub fn insert(&self, id: &str, artifact: ModelArtifact) -> crate::error::Result<u64> {
         let engine = QueryEngine::from_artifact(&artifact)?;
-        let model = Arc::new(ServedModel { artifact, engine });
+        // The version is assigned under the write lock so that commit
+        // order matches version order: without this, two racing inserts
+        // of the same id could leave the lower version live after the
+        // higher one was observed. (The engine compile above is the
+        // expensive part and stays outside the lock.)
+        let mut models = self.models.write().expect("registry lock poisoned");
+        let version = 1 + self.next_version.fetch_add(1, Ordering::Relaxed);
+        let model = Arc::new(ServedModel {
+            artifact,
+            engine,
+            version,
+        });
+        models.insert(id.to_string(), model);
+        Ok(version)
+    }
+
+    /// Ensure every future version exceeds `floor`. Used when
+    /// re-registering persisted artifacts after a restart: the counter
+    /// is in-memory, so without a floor a rebooted registry would hand
+    /// out versions that collide with (and sort below) artifact files
+    /// already on disk.
+    pub fn advance_versions_past(&self, floor: u64) {
+        self.next_version
+            .fetch_max(floor, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Evict a model by id, returning it if it was registered. In-flight
+    /// queries holding the `Arc` finish unaffected.
+    pub fn remove(&self, id: &str) -> Option<Arc<ServedModel>> {
         self.models
             .write()
             .expect("registry lock poisoned")
-            .insert(id.to_string(), model);
-        Ok(())
+            .remove(id)
     }
 
     /// Fetch a model by id (cheap `Arc` clone under the read lock).
@@ -123,6 +163,17 @@ impl Default for ServerConfig {
     }
 }
 
+/// Extension point for mounting extra routes onto a [`Server`] without a
+/// dependency from `serve` on the subsystem that owns them.
+///
+/// Return `Some((status, body))` to claim the request, `None` to fall
+/// through to the built-in route table. Implementations are called from
+/// every worker thread concurrently and must synchronize internally.
+pub trait RouteExt: Send + Sync {
+    /// Try to answer `request`; `None` means "not my path".
+    fn route(&self, request: &Request) -> Option<(u16, JsonValue)>;
+}
+
 /// Shared mutable server state: the connection queue and shutdown flag.
 #[derive(Debug, Default)]
 struct ServerState {
@@ -159,12 +210,22 @@ impl ShutdownHandle {
 }
 
 /// A bound-but-not-yet-serving model server.
-#[derive(Debug)]
 pub struct Server {
     listener: TcpListener,
     registry: Arc<ModelRegistry>,
     config: ServerConfig,
     state: Arc<ServerState>,
+    ext: Option<Arc<dyn RouteExt>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("listener", &self.listener)
+            .field("config", &self.config)
+            .field("ext", &self.ext.as_ref().map(|_| "RouteExt"))
+            .finish_non_exhaustive()
+    }
 }
 
 impl Server {
@@ -174,12 +235,24 @@ impl Server {
         registry: Arc<ModelRegistry>,
         config: ServerConfig,
     ) -> std::io::Result<Self> {
+        Self::bind_with_ext(addr, registry, config, None)
+    }
+
+    /// [`Self::bind`] with an extension route table (see [`RouteExt`]),
+    /// consulted before the built-in routes on every request.
+    pub fn bind_with_ext(
+        addr: impl std::net::ToSocketAddrs,
+        registry: Arc<ModelRegistry>,
+        config: ServerConfig,
+        ext: Option<Arc<dyn RouteExt>>,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         Ok(Self {
             listener,
             registry,
             config,
             state: Arc::new(ServerState::default()),
+            ext,
         })
     }
 
@@ -204,6 +277,7 @@ impl Server {
         let state = &self.state;
         let registry = &self.registry;
         let config = &self.config;
+        let ext = self.ext.as_deref();
         let shutdown = ShutdownHandle {
             state: Arc::clone(&self.state),
             addr: self.local_addr(),
@@ -211,7 +285,7 @@ impl Server {
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 let shutdown = shutdown.clone();
-                scope.spawn(move || worker_loop(state, registry, config, &shutdown));
+                scope.spawn(move || worker_loop(state, registry, config, ext, &shutdown));
             }
             for conn in self.listener.incoming() {
                 if state.shutdown.load(Ordering::SeqCst) {
@@ -243,6 +317,7 @@ fn worker_loop(
     state: &ServerState,
     registry: &ModelRegistry,
     config: &ServerConfig,
+    ext: Option<&dyn RouteExt>,
     shutdown: &ShutdownHandle,
 ) {
     loop {
@@ -266,7 +341,7 @@ fn worker_loop(
             write_response(&mut stream, 503, "application/json", body.as_bytes(), false).ok();
             continue;
         }
-        handle_connection(stream, registry, config, shutdown);
+        handle_connection(stream, registry, config, ext, shutdown);
     }
 }
 
@@ -275,6 +350,7 @@ fn handle_connection(
     stream: TcpStream,
     registry: &ModelRegistry,
     config: &ServerConfig,
+    ext: Option<&dyn RouteExt>,
     shutdown: &ShutdownHandle,
 ) {
     stream.set_read_timeout(Some(config.read_timeout)).ok();
@@ -319,7 +395,10 @@ fn handle_connection(
             Err(_) => return,
         };
         let close_after = request.wants_close() || shutdown.is_shutdown();
-        let (status, body) = route(&request, registry, shutdown);
+        let (status, body) = match ext.and_then(|e| e.route(&request)) {
+            Some(answer) => answer,
+            None => route(&request, registry, shutdown),
+        };
         if write_response(
             &mut write_half,
             status,
@@ -362,6 +441,7 @@ fn route(
                 .map(|(id, model)| {
                     JsonValue::obj(vec![
                         ("id", JsonValue::Str(id)),
+                        ("version", JsonValue::Num(model.version as f64)),
                         ("d", JsonValue::Num(model.artifact.dim() as f64)),
                         (
                             "backend",
@@ -385,10 +465,11 @@ fn route(
                 let d = artifact.dim();
                 let nnz = artifact.weights.nnz();
                 match registry.insert(id, artifact) {
-                    Ok(()) => (
+                    Ok(version) => (
                         201,
                         JsonValue::obj(vec![
                             ("id", JsonValue::Str(id.to_string())),
+                            ("version", JsonValue::Num(version as f64)),
                             ("d", JsonValue::Num(d as f64)),
                             ("nnz", JsonValue::Num(nnz as f64)),
                         ]),
@@ -397,6 +478,20 @@ fn route(
                 }
             }
             Err(e) => bad_request(&e.to_string()),
+        },
+        ("DELETE", ["models", id]) => match registry.remove(id) {
+            Some(model) => (
+                200,
+                JsonValue::obj(vec![
+                    ("id", JsonValue::Str(id.to_string())),
+                    ("version", JsonValue::Num(model.version as f64)),
+                    ("evicted", JsonValue::Bool(true)),
+                ]),
+            ),
+            None => (
+                404,
+                JsonValue::obj(vec![("error", JsonValue::Str(format!("no model '{id}'")))]),
+            ),
         },
         ("POST", ["models", id, "query"]) => match registry.get(id) {
             None => (
@@ -602,5 +697,28 @@ mod tests {
         // Replacement keeps the count.
         reg.insert("m1", demo_artifact()).unwrap();
         assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn registry_versions_are_monotonic_across_replace_and_remove() {
+        let reg = ModelRegistry::new();
+        let v1 = reg.insert("m", demo_artifact()).unwrap();
+        let v2 = reg.insert("m", demo_artifact()).unwrap();
+        assert!(v2 > v1, "replacement must get a fresh version");
+        assert_eq!(reg.get("m").unwrap().version, v2);
+        let evicted = reg.remove("m").expect("was registered");
+        assert_eq!(evicted.version, v2);
+        assert!(reg.get("m").is_none());
+        assert!(reg.remove("m").is_none(), "double-remove reports absence");
+        let v3 = reg.insert("m", demo_artifact()).unwrap();
+        assert!(v3 > v2, "re-registration after eviction keeps climbing");
+        // A restart re-seeding the counter keeps versions above any
+        // previously persisted artifact.
+        reg.advance_versions_past(100);
+        let v4 = reg.insert("m", demo_artifact()).unwrap();
+        assert!(v4 > 100);
+        reg.advance_versions_past(5); // floors never move backwards
+        let v5 = reg.insert("m", demo_artifact()).unwrap();
+        assert!(v5 > v4);
     }
 }

@@ -213,3 +213,57 @@ fn malformed_http_gets_400_not_a_hang() {
         assert!(response.starts_with("HTTP/1.1 400"), "{response}");
     });
 }
+
+#[test]
+fn delete_and_versions_over_tcp() {
+    with_server(ServerConfig::default(), |addr| {
+        let mut client = HttpClient::connect(addr).unwrap();
+        let artifact = sparse_artifact(10, 3);
+
+        // Two uploads of the same id: the listing shows the later
+        // (strictly larger) version.
+        let (status, body) = client
+            .request("PUT", "/models/m", &artifact.to_bytes())
+            .unwrap();
+        assert_eq!(status, 201);
+        let v1 = parse_body(&body)
+            .get("version")
+            .and_then(JsonValue::as_f64)
+            .unwrap();
+        let (_, body) = client
+            .request("PUT", "/models/m", &artifact.to_bytes())
+            .unwrap();
+        let v2 = parse_body(&body)
+            .get("version")
+            .and_then(JsonValue::as_f64)
+            .unwrap();
+        assert!(v2 > v1);
+        let (status, body) = client.request("GET", "/models", b"").unwrap();
+        assert_eq!(status, 200);
+        let listing = parse_body(&body);
+        let models = listing.get("models").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(models.len(), 1);
+        assert_eq!(
+            models[0].get("version").and_then(JsonValue::as_f64),
+            Some(v2)
+        );
+
+        // Evict: 200 with the evicted version, then 404 on re-delete and
+        // on queries against the gone model.
+        let (status, body) = client.request("DELETE", "/models/m", b"").unwrap();
+        assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+        let report = parse_body(&body);
+        assert_eq!(report.get("version").and_then(JsonValue::as_f64), Some(v2));
+        let (status, body) = client.request("DELETE", "/models/m", b"").unwrap();
+        assert_eq!(status, 404);
+        assert!(String::from_utf8_lossy(&body).contains("no model"));
+        let (status, _) = client
+            .request("POST", "/models/m/query", br#"{"kind":"parents","node":0}"#)
+            .unwrap();
+        assert_eq!(status, 404);
+
+        // DELETE on the collection itself is not a thing.
+        let (status, _) = client.request("DELETE", "/models", b"").unwrap();
+        assert_eq!(status, 405);
+    });
+}

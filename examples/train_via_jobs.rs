@@ -1,0 +1,133 @@
+//! The closed loop, driven the way production would drive it: boot a
+//! `job_server` (queue + workers + HTTP) in-process, submit a training
+//! job *over the wire*, poll it to completion, and query the model it
+//! hot-registered — all against one server, no restart, no file handoff.
+//!
+//! ```text
+//! cargo run --release --example train_via_jobs
+//! ```
+//!
+//! The same flow works against the standalone binary
+//! (`cargo run --release -p least-jobs --bin job_server`) with `curl`;
+//! see README.md.
+
+use least_bn::data::{export_csv, sample_lsem_dataset, NoiseModel};
+use least_bn::graph::{erdos_renyi_dag, weighted_adjacency_dense, WeightRange};
+use least_bn::jobs::{JobQueue, JobRunner, JobService, QueueConfig, RunnerConfig};
+use least_bn::linalg::Xoshiro256pp;
+use least_bn::serve::json::{parse as parse_json, JsonValue};
+use least_bn::serve::{HttpClient, ModelRegistry, RouteExt, Server, ServerConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let dir = std::env::temp_dir();
+    let csv_path = dir.join("least_train_via_jobs.csv");
+    let journal_path = dir.join("least_train_via_jobs.journal");
+    std::fs::remove_file(&journal_path).ok();
+
+    // 1. Training data on disk — in production, the warehouse export.
+    let d = 15;
+    let mut rng = Xoshiro256pp::new(0xA11CE);
+    let truth = erdos_renyi_dag(d, 2, &mut rng);
+    let w = weighted_adjacency_dense(&truth, WeightRange { lo: 0.8, hi: 1.6 }, &mut rng);
+    let data = sample_lsem_dataset(&w, 4_000, NoiseModel::standard_gaussian(), &mut rng)
+        .expect("acyclic truth");
+    export_csv(&data, &csv_path).expect("export");
+    println!("wrote {} (4000 rows x {d} cols)", csv_path.display());
+
+    // 2. Boot the whole service: persistent queue, worker pool, and the
+    //    HTTP server with the /jobs routes mounted next to /models.
+    let queue = Arc::new(JobQueue::open(&journal_path, QueueConfig::default()).expect("journal"));
+    let registry = Arc::new(ModelRegistry::new());
+    let runner = JobRunner::new(
+        Arc::clone(&queue),
+        Arc::clone(&registry),
+        RunnerConfig::default(),
+    );
+    let service: Arc<dyn RouteExt> = Arc::new(JobService::new(Arc::clone(&queue)));
+    let server = Server::bind_with_ext(
+        "127.0.0.1:0",
+        Arc::clone(&registry),
+        ServerConfig::default(),
+        Some(service),
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    let shutdown = server.shutdown_handle();
+    println!("job server listening on {addr}");
+
+    std::thread::scope(|scope| {
+        scope.spawn(|| server.serve().expect("serve"));
+        scope.spawn(|| runner.run());
+
+        // 3. Submit the job over HTTP, exactly as a client would.
+        let mut client = HttpClient::connect(addr).expect("connect");
+        let spec = format!(
+            r#"{{"model":"wire_demo","source":{{"kind":"csv","path":{:?}}},
+                "threshold":0.3,"priority":1,
+                "config":{{"lambda":0.05,"max_outer":8,"max_inner":200,
+                           "learning_rate":0.02,"seed":7}}}}"#,
+            csv_path.display().to_string()
+        );
+        let (status, body) = client
+            .request("POST", "/jobs", spec.as_bytes())
+            .expect("submit");
+        assert_eq!(status, 201, "{}", String::from_utf8_lossy(&body));
+        let receipt = parse_json(std::str::from_utf8(&body).unwrap()).unwrap();
+        let id = receipt.get("id").and_then(JsonValue::as_usize).unwrap();
+        println!("submitted job {id}: {}", receipt.render());
+
+        // 4. Poll until the job lands.
+        let snapshot = loop {
+            let (_, body) = client
+                .request("GET", &format!("/jobs/{id}"), b"")
+                .expect("poll");
+            let snapshot = parse_json(std::str::from_utf8(&body).unwrap()).unwrap();
+            match snapshot.get("state").and_then(JsonValue::as_str) {
+                Some("succeeded") => break snapshot,
+                Some("failed") | Some("cancelled") => {
+                    panic!("job ended badly: {}", snapshot.render())
+                }
+                _ => std::thread::sleep(Duration::from_millis(25)),
+            }
+        };
+        let version = snapshot
+            .get("model_version")
+            .and_then(JsonValue::as_usize)
+            .unwrap();
+        println!(
+            "job {id} succeeded after {} attempt(s); model 'wire_demo' registered at v{version}",
+            snapshot
+                .get("attempts")
+                .and_then(JsonValue::as_usize)
+                .unwrap()
+        );
+
+        // 5. Query the freshly learned model on the same server.
+        let (status, body) = client
+            .request(
+                "POST",
+                "/models/wire_demo/query",
+                br#"{"kind":"posterior","target":3,"evidence":[[0,1.0]]}"#,
+            )
+            .expect("query");
+        assert_eq!(status, 200);
+        let answer = parse_json(std::str::from_utf8(&body).unwrap()).unwrap();
+        println!("posterior over the wire: {}", answer.render());
+
+        let (_, body) = client.request("GET", "/models", b"").expect("list");
+        println!(
+            "model listing: {}",
+            String::from_utf8_lossy(&body).trim_end()
+        );
+
+        // 6. Shut down: HTTP drains, workers finish and exit.
+        queue.stop_workers();
+        shutdown.shutdown();
+    });
+
+    std::fs::remove_file(&csv_path).ok();
+    std::fs::remove_file(&journal_path).ok();
+    println!("done: submit -> learn -> hot-register -> query, one server, zero restarts");
+}

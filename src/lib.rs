@@ -39,6 +39,7 @@ pub use least_core as core;
 pub use least_data as data;
 pub use least_graph as graph;
 pub use least_ingest as ingest;
+pub use least_jobs as jobs;
 pub use least_linalg as linalg;
 pub use least_metrics as metrics;
 pub use least_notears as notears;
