@@ -2,10 +2,20 @@
 //!
 //! Drives ≥ 10k Markov-blanket + conditional-mean queries against a
 //! d=1000 sparse linear-Gaussian model **through the real TCP path**
-//! (connect, HTTP/1.1 keep-alive, JSON in/out), first with a single
-//! server worker and then with the full pool, and writes the
-//! machine-readable `BENCH_serve.json` (override the path with
-//! `LEAST_BENCH_OUT`).
+//! (connect, HTTP/1.1 keep-alive, JSON in/out), in three scenarios:
+//!
+//! 1. `serial` — one server worker;
+//! 2. `pooled` — the full worker pool;
+//! 3. `contended` — the full pool **while a writer thread re-registers
+//!    models over HTTP for the whole storm**, the scenario the lock-free
+//!    snapshot registry exists for: per-query p50/max latency is
+//!    reported with and without the writer, and with snapshot reads the
+//!    contended p50 should sit within noise of the writer-free p50
+//!    (an `RwLock` registry would stall every reader behind each
+//!    registration's write lock).
+//!
+//! Writes the machine-readable `BENCH_serve.json` (override the path
+//! with `LEAST_BENCH_OUT`).
 //!
 //! The model is registered over the wire too (one `PUT /models/{id}`),
 //! so the measured system is exactly what production traffic would hit.
@@ -20,6 +30,7 @@ use least_linalg::{par, Xoshiro256pp};
 use least_serve::{
     HttpClient, ModelArtifact, ModelMeta, ModelRegistry, Server, ServerConfig, WeightMatrix,
 };
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -58,10 +69,31 @@ fn roundtrip_bit_exact(artifact: &ModelArtifact) -> bool {
     }
 }
 
+/// What one scenario measured.
+struct RunStats {
+    /// Wall time of the query phase (seconds).
+    elapsed: f64,
+    /// Per-query client-observed latencies, sorted ascending (seconds).
+    latencies: Vec<f64>,
+    /// Model re-registrations the writer completed during the storm.
+    writer_registrations: u64,
+}
+
+impl RunStats {
+    fn p50_ms(&self) -> f64 {
+        self.latencies[self.latencies.len() / 2] * 1e3
+    }
+
+    fn max_ms(&self) -> f64 {
+        self.latencies.last().copied().unwrap_or(0.0) * 1e3
+    }
+}
+
 /// One full run: boot a server with `workers` handlers, upload the model
-/// over TCP, fire the query load from `CLIENTS` concurrent connections,
-/// shut down. Returns the wall time of the query phase.
-fn run(artifact_bytes: &[u8], workers: usize) -> f64 {
+/// over TCP, fire the query load from `CLIENTS` concurrent connections —
+/// optionally with a concurrent writer re-registering models over HTTP
+/// for the whole query phase — then shut down.
+fn run(artifact_bytes: &[u8], workers: usize, with_writer: bool) -> RunStats {
     let registry = Arc::new(ModelRegistry::new());
     let config = ServerConfig {
         workers,
@@ -71,7 +103,11 @@ fn run(artifact_bytes: &[u8], workers: usize) -> f64 {
     let addr = server.local_addr();
     let handle = server.shutdown_handle();
 
-    let mut elapsed = 0.0;
+    let mut stats = RunStats {
+        elapsed: 0.0,
+        latencies: Vec::new(),
+        writer_registrations: 0,
+    };
     std::thread::scope(|scope| {
         let server_thread = scope.spawn(move || server.serve().expect("serve"));
 
@@ -96,11 +132,45 @@ fn run(artifact_bytes: &[u8], workers: usize) -> f64 {
                 );
             }
 
+            let clients_done = AtomicBool::new(false);
+            let registrations = AtomicU64::new(0);
             let start = Instant::now();
+            let mut elapsed = 0.0;
+            let mut latencies: Vec<f64> = Vec::with_capacity(CLIENTS * PER_CLIENT);
             std::thread::scope(|clients| {
-                for client_id in 0..CLIENTS {
+                if with_writer {
+                    let clients_done = &clients_done;
+                    let registrations = &registrations;
                     clients.spawn(move || {
+                        // The write side of the contention scenario: keep
+                        // re-registering the served model until the query
+                        // storm ends. Each registration uses a short-lived
+                        // connection — registration traffic is sporadic in
+                        // production, and a keep-alive writer would pin a
+                        // whole worker (connection-per-worker model) and
+                        // measure scheduler starvation, not registry
+                        // contention.
+                        while !clients_done.load(Ordering::Relaxed) {
+                            let mut writer = HttpClient::connect(addr).expect("writer connect");
+                            let (status, body) = writer
+                                .request("PUT", "/models/bench", artifact_bytes)
+                                .expect("re-register");
+                            assert_eq!(
+                                status,
+                                201,
+                                "re-register failed: {}",
+                                String::from_utf8_lossy(&body)
+                            );
+                            registrations.fetch_add(1, Ordering::Relaxed);
+                            std::thread::sleep(std::time::Duration::from_millis(1));
+                        }
+                    });
+                }
+                let mut client_threads = Vec::new();
+                for client_id in 0..CLIENTS {
+                    client_threads.push(clients.spawn(move || {
                         let mut client = HttpClient::connect(addr).expect("connect");
+                        let mut latencies = Vec::with_capacity(PER_CLIENT);
                         for i in 0..PER_CLIENT {
                             let node = (client_id * 7919 + i * 13) % D;
                             let body = if i % 2 == 0 {
@@ -111,9 +181,11 @@ fn run(artifact_bytes: &[u8], workers: usize) -> f64 {
                                     r#"{{"kind":"posterior","target":{node},"evidence":[[{evidence},0.5]]}}"#
                                 )
                             };
+                            let sent = Instant::now();
                             let (status, response) = client
                                 .request("POST", "/models/bench/query", body.as_bytes())
                                 .expect("query");
+                            latencies.push(sent.elapsed().as_secs_f64());
                             assert_eq!(
                                 status,
                                 200,
@@ -121,20 +193,35 @@ fn run(artifact_bytes: &[u8], workers: usize) -> f64 {
                                 String::from_utf8_lossy(&response)
                             );
                         }
-                    });
+                        latencies
+                    }));
                 }
+                for thread in client_threads {
+                    latencies.extend(thread.join().expect("client thread"));
+                }
+                // Stop the clock on the query storm itself, before the
+                // scope drains the writer's in-flight registration (a
+                // d=1000 engine compile) — that drain is not query work
+                // and must not dilute the reported throughput.
+                elapsed = start.elapsed().as_secs_f64();
+                clients_done.store(true, Ordering::Relaxed);
             });
-            start.elapsed().as_secs_f64()
+            latencies.sort_by(f64::total_cmp);
+            RunStats {
+                elapsed,
+                latencies,
+                writer_registrations: registrations.load(Ordering::Relaxed),
+            }
         }));
 
         handle.shutdown();
         server_thread.join().expect("server thread");
         match result {
-            Ok(seconds) => elapsed = seconds,
+            Ok(run_stats) => stats = run_stats,
             Err(panic) => std::panic::resume_unwind(panic),
         }
     });
-    elapsed
+    stats
 }
 
 fn main() {
@@ -166,25 +253,43 @@ fn main() {
     );
 
     let bytes = artifact.to_bytes();
-    let serial = run(&bytes, 1);
-    let pooled = run(&bytes, pool);
-    let speedup = serial / pooled;
+    let serial = run(&bytes, 1, false);
+    let pooled = run(&bytes, pool, false);
+    let contended = run(&bytes, pool, true);
+    let speedup = serial.elapsed / pooled.elapsed;
+    let contended_p50_ratio = contended.p50_ms() / pooled.p50_ms();
 
-    let mut table = Table::new(&["mode", "workers", "seconds", "queries/s"]);
-    table.row(vec![
-        "serial".into(),
-        "1".into(),
-        fmt(serial),
-        fmt(total_queries as f64 / serial),
+    let mut table = Table::new(&[
+        "mode",
+        "workers",
+        "seconds",
+        "queries/s",
+        "p50 ms",
+        "max ms",
+        "writer regs",
     ]);
-    table.row(vec![
-        "pooled".into(),
-        pool.to_string(),
-        fmt(pooled),
-        fmt(total_queries as f64 / pooled),
-    ]);
+    for (mode, workers, stats) in [
+        ("serial", 1, &serial),
+        ("pooled", pool, &pooled),
+        ("contended", pool, &contended),
+    ] {
+        table.row(vec![
+            mode.into(),
+            workers.to_string(),
+            fmt(stats.elapsed),
+            fmt(total_queries as f64 / stats.elapsed),
+            fmt(stats.p50_ms()),
+            fmt(stats.max_ms()),
+            stats.writer_registrations.to_string(),
+        ]);
+    }
     table.print();
     println!("\nspeedup: {}", fmt(speedup));
+    println!(
+        "write-contention p50 ratio (contended / pooled): {} \
+         (snapshot-registry target: ≤ 1.5)",
+        fmt(contended_p50_ratio)
+    );
 
     least_bench::emit_report(
         "serve_throughput",
@@ -195,11 +300,31 @@ fn main() {
             ("queries", Json::Int(total_queries as i64)),
             ("roundtrip_bit_exact_csr", Json::Bool(exact_sparse)),
             ("roundtrip_bit_exact_dense", Json::Bool(exact_dense)),
-            ("serial_seconds", Json::Num(serial)),
-            ("serial_qps", Json::Num(total_queries as f64 / serial)),
+            ("serial_seconds", Json::Num(serial.elapsed)),
+            (
+                "serial_qps",
+                Json::Num(total_queries as f64 / serial.elapsed),
+            ),
             ("pooled_workers", Json::Int(pool as i64)),
-            ("pooled_seconds", Json::Num(pooled)),
-            ("pooled_qps", Json::Num(total_queries as f64 / pooled)),
+            ("pooled_seconds", Json::Num(pooled.elapsed)),
+            (
+                "pooled_qps",
+                Json::Num(total_queries as f64 / pooled.elapsed),
+            ),
+            ("pooled_p50_ms", Json::Num(pooled.p50_ms())),
+            ("pooled_max_ms", Json::Num(pooled.max_ms())),
+            ("contended_seconds", Json::Num(contended.elapsed)),
+            (
+                "contended_qps",
+                Json::Num(total_queries as f64 / contended.elapsed),
+            ),
+            ("contended_p50_ms", Json::Num(contended.p50_ms())),
+            ("contended_max_ms", Json::Num(contended.max_ms())),
+            (
+                "contended_writer_registrations",
+                Json::Int(contended.writer_registrations as i64),
+            ),
+            ("contended_p50_ratio", Json::Num(contended_p50_ratio)),
             ("speedup", Json::Num(speedup)),
         ],
     );

@@ -144,9 +144,8 @@ fn main() {
     if let Some(workers) = env_parse::<usize>("LEAST_SERVE_WORKERS") {
         config.workers = workers.max(1);
     }
-    let service: Arc<dyn least_serve::RouteExt> = Arc::new(JobService::new(Arc::clone(&queue)));
-    let server = Server::bind_with_ext(&addr, Arc::clone(&registry), config.clone(), Some(service))
-        .expect("bind");
+    let mut server = Server::bind(&addr, Arc::clone(&registry), config.clone()).expect("bind");
+    JobService::new(Arc::clone(&queue)).mount(server.router_mut());
     let local = server.local_addr();
     println!(
         "listening on {local} ({} http workers, {job_workers} job workers, attempt cap {max_attempts})",

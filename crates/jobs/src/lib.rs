@@ -19,9 +19,10 @@
 //! * [`worker`] — [`JobRunner`]: a scoped-thread pool that executes jobs
 //!   end-to-end and hot-registers each result into the live
 //!   [`least_serve::ModelRegistry`] under a monotonic version;
-//! * [`service`] — [`JobService`]: `/jobs` HTTP endpoints mounted onto
-//!   the *same* server that answers model queries, via
-//!   [`least_serve::RouteExt`].
+//! * [`service`] — [`JobService`]: `/jobs` HTTP endpoints registered
+//!   into the *same* declarative [`least_serve::Router`] (and telemetry
+//!   surface) as the model-query routes, via
+//!   [`JobService::mount`] on `Server::router_mut()`.
 //!
 //! The `job_server` binary boots all four in one process:
 //!
@@ -85,7 +86,9 @@ pub mod spec;
 pub mod worker;
 
 pub use error::{JobError, Result};
-pub use queue::{CancelOutcome, Claim, JobQueue, JobSnapshot, JobState, QueueConfig, QueueCounts};
+pub use queue::{
+    CancelOutcome, Claim, JobPage, JobQueue, JobSnapshot, JobState, QueueConfig, QueueCounts,
+};
 pub use service::JobService;
 pub use spec::{JobBackend, JobSource, JobSpec, SpecError};
 pub use worker::{JobRunner, Outcome, RunnerConfig};

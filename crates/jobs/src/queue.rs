@@ -114,6 +114,15 @@ pub struct JobSnapshot {
     pub model_version: Option<u64>,
 }
 
+/// One window of the job listing (see [`JobQueue::list_page`]).
+#[derive(Debug, Clone)]
+pub struct JobPage {
+    /// The jobs inside the requested window, ordered by id.
+    pub jobs: Vec<JobSnapshot>,
+    /// Size of the full filtered set, independent of the window.
+    pub total: usize,
+}
+
 /// Per-state job counts (for health/status endpoints).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct QueueCounts {
@@ -501,13 +510,32 @@ impl JobQueue {
 
     /// Snapshot all jobs (optionally filtered by state), ordered by id.
     pub fn list(&self, state: Option<JobState>) -> Vec<JobSnapshot> {
-        let inner = self.inner.lock().expect("queue lock poisoned");
-        inner
+        self.list_page(state, least_serve::Pagination::default())
             .jobs
-            .iter()
-            .filter(|(_, e)| state.is_none_or(|s| e.state == s))
-            .map(|(&id, e)| snapshot(id, e))
-            .collect()
+    }
+
+    /// One `offset`/`limit` window of the (optionally state-filtered)
+    /// job listing, ordered by id, plus the **stable total**: the size
+    /// of the full filtered set, independent of the window — what a
+    /// paging client needs to know when to stop. Snapshotting only the
+    /// window keeps `GET /jobs` O(window) in clones even when the
+    /// terminal history has grown unbounded (journal compaction is the
+    /// other half of that story; see DESIGN.md §10.3).
+    pub fn list_page(&self, state: Option<JobState>, page: least_serve::Pagination) -> JobPage {
+        let inner = self.inner.lock().expect("queue lock poisoned");
+        let mut total = 0usize;
+        let limit = page.limit.unwrap_or(usize::MAX);
+        let mut jobs = Vec::new();
+        for (&id, e) in inner.jobs.iter() {
+            if !state.is_none_or(|s| e.state == s) {
+                continue;
+            }
+            if total >= page.offset && jobs.len() < limit {
+                jobs.push(snapshot(id, e));
+            }
+            total += 1;
+        }
+        JobPage { jobs, total }
     }
 
     /// Per-state counts.
@@ -647,6 +675,50 @@ mod tests {
         // The cancelled-when-queued job never reaches a worker.
         q.stop_workers();
         assert!(q.claim().unwrap().is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn list_page_windows_with_stable_total() {
+        let path = temp_journal("page");
+        let q = JobQueue::open(&path, QueueConfig::default()).unwrap();
+        for i in 0..5 {
+            q.submit(spec(&format!("m{i}"), 0)).unwrap();
+        }
+        // Put job 1 in a different state so filtering has something to do.
+        let claim = q.claim().unwrap().unwrap();
+        assert_eq!(claim.id, 1);
+
+        let page = q.list_page(
+            None,
+            least_serve::Pagination {
+                offset: 1,
+                limit: Some(2),
+            },
+        );
+        assert_eq!(page.total, 5, "total is the full set, not the window");
+        let ids: Vec<u64> = page.jobs.iter().map(|s| s.id).collect();
+        assert_eq!(ids, vec![2, 3]);
+
+        let filtered = q.list_page(
+            Some(JobState::Queued),
+            least_serve::Pagination {
+                offset: 0,
+                limit: Some(10),
+            },
+        );
+        assert_eq!(filtered.total, 4, "the running job is filtered out");
+        assert_eq!(filtered.jobs.len(), 4);
+
+        // Windows past the end are empty but keep the stable total.
+        let past = q.list_page(
+            None,
+            least_serve::Pagination {
+                offset: 99,
+                limit: Some(3),
+            },
+        );
+        assert_eq!((past.jobs.len(), past.total), (0, 5));
         std::fs::remove_file(&path).ok();
     }
 

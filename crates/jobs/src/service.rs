@@ -1,21 +1,21 @@
-//! [`JobService`]: the HTTP face of the queue, mounted onto the existing
-//! model server through `least_serve`'s [`RouteExt`] hook — one process,
-//! one port, one registry serves both queries and training jobs.
+//! [`JobService`]: the HTTP face of the queue, registered into the
+//! model server's declarative [`Router`] — one process, one port, one
+//! registry, one route table (and one `/stats` telemetry surface)
+//! serves both queries and training jobs.
 //!
 //! Routes (all JSON):
 //!
 //! | method | path                | body      | response                    |
 //! |--------|---------------------|-----------|-----------------------------|
 //! | POST   | `/jobs`             | [`JobSpec`] | 201 id + state, 400 on bad spec |
-//! | GET    | `/jobs`             | —         | listing (+ per-state counts); `?state=queued` filters |
+//! | GET    | `/jobs`             | —         | paginated listing (+ per-state counts); `?state=queued&offset=10&limit=5` |
 //! | GET    | `/jobs/{id}`        | —         | job snapshot, 404 unknown   |
 //! | POST   | `/jobs/{id}/cancel` | —         | 200 cancelled / 202 requested / 409 terminal / 404 |
 
 use crate::queue::{CancelOutcome, JobQueue, JobSnapshot};
 use crate::spec::JobSpec;
-use least_serve::http::Request;
 use least_serve::json::{parse as parse_json, JsonValue};
-use least_serve::RouteExt;
+use least_serve::router::{Pagination, RequestCtx, Router};
 use std::sync::Arc;
 
 /// Routes `/jobs` requests to a [`JobQueue`].
@@ -25,9 +25,28 @@ pub struct JobService {
 }
 
 impl JobService {
-    /// Wrap a queue for mounting via [`least_serve::Server::bind_with_ext`].
+    /// Wrap a queue for mounting via [`Self::mount`].
     pub fn new(queue: Arc<JobQueue>) -> Self {
         Self { queue }
+    }
+
+    /// Register the `/jobs` endpoints into `router` — the same
+    /// registration surface the serve built-ins use
+    /// (`least_serve::Server::router_mut`).
+    pub fn mount(self, router: &mut Router) {
+        let service = Arc::new(self);
+
+        let submit = Arc::clone(&service);
+        router.route("POST", "/jobs", move |ctx| submit.submit(&ctx.request.body));
+
+        let list = Arc::clone(&service);
+        router.route("GET", "/jobs", move |ctx| list.list(ctx));
+
+        let get = Arc::clone(&service);
+        router.route("GET", "/jobs/{id}", move |ctx| get.get(ctx));
+
+        let cancel = Arc::clone(&service);
+        router.route("POST", "/jobs/{id}/cancel", move |ctx| cancel.cancel(ctx));
     }
 
     fn submit(&self, body: &[u8]) -> (u16, JsonValue) {
@@ -57,11 +76,12 @@ impl JobService {
         }
     }
 
-    fn list(&self, query: &str) -> (u16, JsonValue) {
+    fn list(&self, ctx: &RequestCtx<'_>) -> (u16, JsonValue) {
         let mut filter = None;
-        for pair in query.split('&').filter(|p| !p.is_empty()) {
-            match pair.split_once('=') {
-                Some(("state", value)) => match crate::queue::JobState::parse(value) {
+        let mut page = Pagination::default();
+        for (key, value) in ctx.query_pairs() {
+            if key == "state" {
+                match crate::queue::JobState::parse(value) {
                     Some(state) => filter = Some(state),
                     None => {
                         return error(
@@ -72,21 +92,26 @@ impl JobService {
                             ),
                         )
                     }
-                },
-                _ => return error(400, &format!("unknown query parameter '{pair}'")),
+                }
+                continue;
+            }
+            match page.try_accept(key, value) {
+                Ok(true) => {}
+                Ok(false) => {
+                    return error(400, &format!("unknown query parameter '{key}={value}'"))
+                }
+                Err(msg) => return error(400, &msg),
             }
         }
-        let jobs = self
-            .queue
-            .list(filter)
-            .iter()
-            .map(job_json)
-            .collect::<Vec<_>>();
+        let page_result = self.queue.list_page(filter, page);
+        let jobs = page_result.jobs.iter().map(job_json).collect::<Vec<_>>();
         let c = self.queue.counts();
         (
             200,
             JsonValue::obj(vec![
                 ("jobs", JsonValue::Arr(jobs)),
+                ("total", JsonValue::Num(page_result.total as f64)),
+                ("offset", JsonValue::Num(page.offset as f64)),
                 (
                     "counts",
                     JsonValue::obj(vec![
@@ -101,19 +126,18 @@ impl JobService {
         )
     }
 
-    fn get(&self, id: &str) -> (u16, JsonValue) {
-        match parse_id(id) {
-            None => error(404, &format!("no job '{id}'")),
-            Some(id) => match self.queue.get(id) {
-                Some(snapshot) => (200, job_json(&snapshot)),
-                None => error(404, &format!("no job '{id}'")),
-            },
+    fn get(&self, ctx: &RequestCtx<'_>) -> (u16, JsonValue) {
+        let raw = ctx.param("id");
+        match ctx.param_u64("id").and_then(|id| self.queue.get(id)) {
+            Some(snapshot) => (200, job_json(&snapshot)),
+            None => error(404, &format!("no job '{raw}'")),
         }
     }
 
-    fn cancel(&self, id: &str) -> (u16, JsonValue) {
-        let Some(id) = parse_id(id) else {
-            return error(404, &format!("no job '{id}'"));
+    fn cancel(&self, ctx: &RequestCtx<'_>) -> (u16, JsonValue) {
+        let raw = ctx.param("id");
+        let Some(id) = ctx.param_u64("id") else {
+            return error(404, &format!("no job '{raw}'"));
         };
         match self.queue.cancel(id) {
             Err(e) => error(500, &format!("cancel failed: {e}")),
@@ -145,28 +169,6 @@ impl JobService {
             ),
         }
     }
-}
-
-impl RouteExt for JobService {
-    fn route(&self, request: &Request) -> Option<(u16, JsonValue)> {
-        let (path, query) = request
-            .path
-            .split_once('?')
-            .unwrap_or((request.path.as_str(), ""));
-        let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
-        match (request.method.as_str(), segments.as_slice()) {
-            ("POST", ["jobs"]) => Some(self.submit(&request.body)),
-            ("GET", ["jobs"]) => Some(self.list(query)),
-            ("GET", ["jobs", id]) => Some(self.get(id)),
-            ("POST", ["jobs", id, "cancel"]) => Some(self.cancel(id)),
-            (_, ["jobs", ..]) => Some(error(405, "method not allowed")),
-            _ => None,
-        }
-    }
-}
-
-fn parse_id(s: &str) -> Option<u64> {
-    s.parse::<u64>().ok()
 }
 
 fn error(status: u16, msg: &str) -> (u16, JsonValue) {

@@ -4,7 +4,7 @@ use least_data::{export_csv, sample_lsem_dataset, NoiseModel};
 use least_jobs::{JobQueue, JobRunner, JobService, QueueConfig, RunnerConfig};
 use least_linalg::{DenseMatrix, Xoshiro256pp};
 use least_serve::json::{parse as parse_json, JsonValue};
-use least_serve::{HttpClient, ModelRegistry, RouteExt, Server, ServerConfig};
+use least_serve::{HttpClient, ModelRegistry, Server, ServerConfig};
 use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -64,14 +64,13 @@ pub fn with_job_server(
             artifact_dir: None,
         },
     );
-    let service: Arc<dyn RouteExt> = Arc::new(JobService::new(Arc::clone(&queue)));
-    let server = Server::bind_with_ext(
+    let mut server = Server::bind(
         "127.0.0.1:0",
         Arc::clone(&registry),
         ServerConfig::default(),
-        Some(service),
     )
     .expect("bind");
+    JobService::new(Arc::clone(&queue)).mount(server.router_mut());
     let addr = server.local_addr();
     let handle = server.shutdown_handle();
     std::thread::scope(|scope| {

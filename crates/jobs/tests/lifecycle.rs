@@ -191,6 +191,68 @@ fn malformed_specs_and_unknown_routes() {
 }
 
 #[test]
+fn jobs_listing_paginates_with_stable_total() {
+    let journal = temp_path("pagination", ".journal");
+    std::fs::remove_file(&journal).ok();
+    // No workers: all five jobs stay queued, so the listing is stable.
+    with_job_server(&journal, QueueConfig::default(), 0, |addr, _, _| {
+        for i in 0..5 {
+            let body =
+                format!(r#"{{"model":"page{i}","source":{{"kind":"csv","path":"/tmp/x.csv"}}}}"#);
+            let (status, _) = request_once(addr, "POST", "/jobs", body.as_bytes());
+            assert_eq!(status, 201);
+        }
+
+        let (status, listing) = request_once(addr, "GET", "/jobs?offset=1&limit=2", b"");
+        assert_eq!(status, 200, "{}", listing.render());
+        let jobs = listing.get("jobs").and_then(JsonValue::as_array).unwrap();
+        let ids: Vec<f64> = jobs
+            .iter()
+            .map(|j| j.get("id").and_then(JsonValue::as_f64).unwrap())
+            .collect();
+        assert_eq!(ids, vec![2.0, 3.0]);
+        assert_eq!(
+            listing.get("total").and_then(JsonValue::as_f64),
+            Some(5.0),
+            "total is the filtered set size, not the window size"
+        );
+        assert_eq!(listing.get("offset").and_then(JsonValue::as_f64), Some(1.0));
+        // The per-state counts stay global too.
+        assert_eq!(
+            listing
+                .get("counts")
+                .and_then(|c| c.get("queued"))
+                .and_then(JsonValue::as_f64),
+            Some(5.0)
+        );
+
+        // Pagination composes with the state filter.
+        let (status, listing) =
+            request_once(addr, "GET", "/jobs?state=queued&offset=4&limit=10", b"");
+        assert_eq!(status, 200);
+        assert_eq!(
+            listing
+                .get("jobs")
+                .and_then(JsonValue::as_array)
+                .map(<[JsonValue]>::len),
+            Some(1)
+        );
+        assert_eq!(listing.get("total").and_then(JsonValue::as_f64), Some(5.0));
+        let (status, listing) = request_once(addr, "GET", "/jobs?state=failed", b"");
+        assert_eq!(status, 200);
+        assert_eq!(listing.get("total").and_then(JsonValue::as_f64), Some(0.0));
+
+        // Malformed pagination is a typed 400.
+        let (status, answer) = request_once(addr, "GET", "/jobs?limit=many", b"");
+        assert_eq!(status, 400);
+        assert!(answer.render().contains("limit"));
+        let (status, _) = request_once(addr, "GET", "/jobs?page=2", b"");
+        assert_eq!(status, 400);
+    });
+    std::fs::remove_file(&journal).ok();
+}
+
+#[test]
 fn cancel_queued_job_never_runs() {
     let csv = chain_csv("cancel_queued", 4, 200, 6);
     let journal = temp_path("cancel_queued", ".journal");

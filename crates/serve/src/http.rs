@@ -5,15 +5,28 @@
 //! keep-alive (the HTTP/1.1 default) and `Connection: close`. Not
 //! supported (rejected cleanly): chunked transfer encoding, upgrades,
 //! multi-line headers. The server side never trusts input: header count,
-//! line length and body size are all capped.
+//! line length, body size, and `Content-Length` coherence (duplicates
+//! must agree) are all validated, and every malformed input maps to a
+//! typed [`ReadOutcome`] — a 400 or 413 on the wire — never a panic and
+//! never a silent hang. The parser is generic over [`BufRead`], so the
+//! hardening suite can drive it with torn, pipelined, and hostile byte
+//! streams without a socket.
+//!
+//! Keep-alive connections reuse one [`ConnBuffers`] for their whole
+//! lifetime: the header-line scratch, the body buffer, and the response
+//! assembly buffer are allocated once per connection and recycled every
+//! turn (DESIGN.md §11.4), so a steady-state query costs zero buffer
+//! allocations in this layer.
 
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
+use std::io::{BufRead, Read, Write};
 
-/// Maximum header line length (bytes).
+/// Maximum header line length (bytes, excluding the line terminator).
 const MAX_LINE: usize = 8 * 1024;
 /// Maximum number of headers per message.
 const MAX_HEADERS: usize = 64;
+/// Bodies up to this capacity are recycled across keep-alive turns;
+/// larger one-off uploads are freed instead of pinning worker memory.
+const MAX_RECYCLED_BODY: usize = 1 << 20;
 
 /// A parsed request.
 #[derive(Debug)]
@@ -61,16 +74,83 @@ pub enum ReadOutcome {
     TooLarge(usize),
 }
 
+/// Per-connection reusable buffers (see module docs). One of these lives
+/// for each accepted connection; every keep-alive turn reads into and
+/// writes out of the same allocations.
+#[derive(Debug, Default)]
+pub struct ConnBuffers {
+    /// Header-line scratch.
+    line: Vec<u8>,
+    /// Body accumulator; handed to the [`Request`] and recycled back via
+    /// [`Self::recycle`].
+    body: Vec<u8>,
+    /// Response assembly buffer (status line + headers + body in one
+    /// vectored write).
+    write: Vec<u8>,
+}
+
+impl ConnBuffers {
+    /// Fresh (empty) buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Return a finished request's body buffer for reuse on the next
+    /// keep-alive turn. Oversized buffers are dropped instead, so one
+    /// huge upload does not pin its high-water mark for the connection's
+    /// lifetime.
+    pub fn recycle(&mut self, mut body: Vec<u8>) {
+        if body.capacity() <= MAX_RECYCLED_BODY && body.capacity() > self.body.capacity() {
+            body.clear();
+            self.body = body;
+        }
+    }
+
+    /// Assemble and send one response through the reusable write buffer.
+    /// `keep_alive` controls the `Connection` header; the caller decides
+    /// whether to continue the read loop.
+    pub fn send_response(
+        &mut self,
+        stream: &mut impl Write,
+        status: u16,
+        content_type: &str,
+        body: &[u8],
+        keep_alive: bool,
+    ) -> std::io::Result<()> {
+        self.write.clear();
+        render_response_head(
+            &mut self.write,
+            status,
+            content_type,
+            body.len(),
+            keep_alive,
+        );
+        self.write.extend_from_slice(body);
+        let sent = stream.write_all(&self.write).and_then(|()| stream.flush());
+        // Same high-water-mark rule as the body buffer: one huge listing
+        // must not pin its capacity for the connection's lifetime.
+        if self.write.capacity() > MAX_RECYCLED_BODY {
+            self.write = Vec::new();
+        }
+        sent
+    }
+}
+
 /// Read one request from a buffered stream. Read timeouts and resets
-/// surface as `Err(io)`; clean EOF between requests is `Closed`.
-pub fn read_request(
-    reader: &mut BufReader<TcpStream>,
+/// surface as `Err(io)`; clean EOF between requests is `Closed`; every
+/// protocol violation is a typed [`ReadOutcome`], never a panic.
+/// Pipelined input is supported: each call consumes exactly one request.
+pub fn read_request<R: BufRead>(
+    reader: &mut R,
     max_body: usize,
+    buffers: &mut ConnBuffers,
 ) -> std::io::Result<ReadOutcome> {
-    let line = match read_line(reader)? {
-        None => return Ok(ReadOutcome::Closed),
-        Some(line) if line.is_empty() => return Ok(ReadOutcome::Closed),
-        Some(line) => line,
+    let line = match read_line(reader, &mut buffers.line)? {
+        Line::Eof => return Ok(ReadOutcome::Closed),
+        Line::TooLong => return Ok(ReadOutcome::Malformed("request line too long".into())),
+        Line::NotUtf8 => return Ok(ReadOutcome::Malformed("non-utf8 request line".into())),
+        Line::Text("") => return Ok(ReadOutcome::Closed),
+        Line::Text(line) => line,
     };
     let mut parts = line.split_whitespace();
     let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
@@ -85,10 +165,13 @@ pub fn read_request(
     let method = method.to_ascii_uppercase();
     let path = path.to_string();
 
-    let mut headers = Vec::new();
+    let mut headers: Vec<(String, String)> = Vec::new();
     loop {
-        let Some(line) = read_line(reader)? else {
-            return Ok(ReadOutcome::Malformed("eof inside headers".into()));
+        let line = match read_line(reader, &mut buffers.line)? {
+            Line::Eof => return Ok(ReadOutcome::Malformed("eof inside headers".into())),
+            Line::TooLong => return Ok(ReadOutcome::Malformed("header line too long".into())),
+            Line::NotUtf8 => return Ok(ReadOutcome::Malformed("non-utf8 header".into())),
+            Line::Text(line) => line,
         };
         if line.is_empty() {
             break;
@@ -111,13 +194,26 @@ pub fn read_request(
         ));
     }
 
-    let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
-        None => 0,
-        Some((_, v)) => match v.parse::<usize>() {
+    // All Content-Length headers must parse and agree: request smuggling
+    // classically hides in a parser picking one of two conflicting
+    // lengths, so conflicting declarations are a hard 400.
+    let mut content_length = None;
+    for (_, v) in headers.iter().filter(|(k, _)| k == "content-length") {
+        let n = match v.parse::<usize>() {
             Ok(n) => n,
             Err(_) => return Ok(ReadOutcome::Malformed(format!("bad content-length: {v}"))),
-        },
-    };
+        };
+        match content_length {
+            None => content_length = Some(n),
+            Some(prev) if prev == n => {}
+            Some(prev) => {
+                return Ok(ReadOutcome::Malformed(format!(
+                    "conflicting content-length: {prev} vs {n}"
+                )))
+            }
+        }
+    }
+    let content_length = content_length.unwrap_or(0);
     if content_length > max_body {
         // Drain a bounded amount so a modest overage still gets its 413
         // delivered cleanly (closing with unread data risks an RST that
@@ -127,61 +223,65 @@ pub fn read_request(
         std::io::copy(&mut reader.by_ref().take(take), &mut std::io::sink())?;
         return Ok(ReadOutcome::TooLarge(content_length));
     }
-    // Grow the buffer as bytes actually arrive rather than trusting the
-    // declared length with one up-front allocation — a stalled client
-    // claiming a huge body must not pin `max_body` of memory per worker.
-    let mut body = Vec::with_capacity(content_length.min(1 << 20));
+    // Fill the reusable body buffer as bytes actually arrive rather than
+    // trusting the declared length with one up-front allocation — a
+    // stalled client claiming a huge body must not pin `max_body` of
+    // memory per worker.
+    buffers.body.clear();
     reader
         .by_ref()
         .take(content_length as u64)
-        .read_to_end(&mut body)?;
-    if body.len() != content_length {
+        .read_to_end(&mut buffers.body)?;
+    if buffers.body.len() != content_length {
         return Ok(ReadOutcome::Malformed(format!(
             "body truncated: got {} of {content_length} declared bytes",
-            body.len()
+            buffers.body.len()
         )));
     }
     Ok(ReadOutcome::Ready(Request {
         method,
         path,
         headers,
-        body,
+        body: std::mem::take(&mut buffers.body),
     }))
 }
 
-/// Read one CRLF (or bare LF) terminated line; `None` on clean EOF before
-/// any byte.
-fn read_line(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option<String>> {
-    let mut buf = Vec::new();
-    loop {
-        let mut byte = [0u8; 1];
-        match reader.read(&mut byte)? {
-            0 => {
-                if buf.is_empty() {
-                    return Ok(None);
-                }
-                break;
-            }
-            _ => {
-                if byte[0] == b'\n' {
-                    break;
-                }
-                if buf.len() >= MAX_LINE {
-                    return Err(std::io::Error::new(
-                        std::io::ErrorKind::InvalidData,
-                        "header line too long",
-                    ));
-                }
-                buf.push(byte[0]);
-            }
-        }
+/// Outcome of reading one header line into the scratch buffer.
+enum Line<'a> {
+    /// Clean EOF before any byte.
+    Eof,
+    /// The line exceeds [`MAX_LINE`] (bytes may remain unread).
+    TooLong,
+    /// The line is not valid UTF-8.
+    NotUtf8,
+    /// A complete line (CRLF / bare LF stripped).
+    Text(&'a str),
+}
+
+/// Read one CRLF (or bare LF) terminated line into `buf`. Bounded: at
+/// most `MAX_LINE + 2` bytes are consumed before giving up.
+fn read_line<'a, R: BufRead>(reader: &mut R, buf: &'a mut Vec<u8>) -> std::io::Result<Line<'a>> {
+    buf.clear();
+    let n = reader
+        .by_ref()
+        .take((MAX_LINE + 2) as u64)
+        .read_until(b'\n', buf)?;
+    if n == 0 {
+        return Ok(Line::Eof);
+    }
+    if buf.last() == Some(&b'\n') {
+        buf.pop();
     }
     if buf.last() == Some(&b'\r') {
         buf.pop();
     }
-    String::from_utf8(buf)
-        .map(Some)
-        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-utf8 header"))
+    if buf.len() > MAX_LINE {
+        return Ok(Line::TooLong);
+    }
+    match std::str::from_utf8(buf) {
+        Ok(text) => Ok(Line::Text(text)),
+        Err(_) => Ok(Line::NotUtf8),
+    }
 }
 
 /// Reason phrases for the status codes the server emits.
@@ -201,8 +301,30 @@ fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Write one response. `keep_alive` controls the `Connection` header; the
-/// caller decides whether to continue the read loop.
+/// Render the status line + headers into `buf`.
+fn render_response_head(
+    buf: &mut Vec<u8>,
+    status: u16,
+    content_type: &str,
+    content_length: usize,
+    keep_alive: bool,
+) {
+    use std::io::Write as _;
+    write!(
+        buf,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        status,
+        reason(status),
+        content_type,
+        content_length,
+        if keep_alive { "keep-alive" } else { "close" },
+    )
+    .expect("writing to a Vec cannot fail");
+}
+
+/// Write one response without a connection buffer (one-shot paths such
+/// as the shutdown-drain 503). Keep-alive turns go through
+/// [`ConnBuffers::send_response`] instead, which reuses its allocation.
 pub fn write_response(
     stream: &mut impl Write,
     status: u16,
@@ -210,16 +332,10 @@ pub fn write_response(
     body: &[u8],
     keep_alive: bool,
 ) -> std::io::Result<()> {
-    let header = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
-        status,
-        reason(status),
-        content_type,
-        body.len(),
-        if keep_alive { "keep-alive" } else { "close" },
-    );
-    stream.write_all(header.as_bytes())?;
-    stream.write_all(body)?;
+    let mut buf = Vec::with_capacity(128 + body.len());
+    render_response_head(&mut buf, status, content_type, body.len(), keep_alive);
+    buf.extend_from_slice(body);
+    stream.write_all(&buf)?;
     stream.flush()
 }
 
@@ -229,16 +345,16 @@ pub fn write_response(
 /// HTTP/1.1).
 #[derive(Debug)]
 pub struct HttpClient {
-    reader: BufReader<TcpStream>,
+    reader: std::io::BufReader<std::net::TcpStream>,
 }
 
 impl HttpClient {
     /// Connect to `addr` (e.g. `127.0.0.1:8080`).
     pub fn connect(addr: impl std::net::ToSocketAddrs) -> std::io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
+        let stream = std::net::TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
         Ok(Self {
-            reader: BufReader::new(stream),
+            reader: std::io::BufReader::new(stream),
         })
     }
 

@@ -17,9 +17,13 @@
 //!   `O((k+1)·(d + nnz))` per query via truncated path-weight
 //!   accumulation in topological order;
 //! * [`server`] — a std-only TCP serving layer: hand-rolled HTTP/1.1 +
-//!   JSON ([`http`], [`json`]), a scoped-thread worker pool sized by
-//!   `least_linalg::par`, and an `RwLock`-guarded model registry so
-//!   concurrent reads never serialize.
+//!   JSON ([`http`], [`json`]) with per-connection buffer reuse, a
+//!   scoped-thread worker pool sized by `least_linalg::par`, a
+//!   declarative [`router`] (method + path pattern + typed params) that
+//!   serve's built-ins and subsystems like `least-jobs` both register
+//!   into, per-route [`telemetry`] surfaced at `GET /stats`, and a
+//!   lock-free snapshot [`registry`] — the query hot path does one
+//!   atomic load and never blocks on model insert/remove.
 //!
 //! ## From fit to query in five lines
 //!
@@ -51,11 +55,17 @@ pub mod error;
 pub mod http;
 pub mod json;
 pub mod query;
+pub mod registry;
+pub mod router;
 pub mod server;
+pub mod telemetry;
 
 pub use artifact::{ModelArtifact, ModelMeta, WeightMatrix};
 pub use error::{Result, ServeError};
 pub use http::HttpClient;
 pub use json::JsonValue;
 pub use query::{Gaussian, QueryEngine};
-pub use server::{ModelRegistry, RouteExt, ServedModel, Server, ServerConfig, ShutdownHandle};
+pub use registry::{ModelRegistry, RegistryReader, RegistrySnapshot, ServedModel};
+pub use router::{Pagination, RequestCtx, Router};
+pub use server::{Server, ServerConfig, ShutdownHandle};
+pub use telemetry::{RouteStats, Telemetry};

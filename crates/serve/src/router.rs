@@ -1,0 +1,451 @@
+//! Declarative HTTP routing: method + path pattern + typed path params.
+//!
+//! Routes are registered once at server setup — serve's built-ins and
+//! any subsystem's extras (the job layer's `/jobs` endpoints) go through
+//! the *same* [`Router::route`] call, which replaced both the old
+//! hand-rolled `if`/`else` dispatch and the `RouteExt` bolt-on trait.
+//! Patterns are literal segments plus `{name}` captures:
+//!
+//! ```
+//! use least_serve::json::JsonValue;
+//! use least_serve::router::Router;
+//! use least_serve::telemetry::Telemetry;
+//! use std::sync::Arc;
+//!
+//! let mut router = Router::new(Arc::new(Telemetry::new()));
+//! router.route("GET", "/models/{id}", |ctx| {
+//!     (200, JsonValue::Str(ctx.param("id").to_string()))
+//! });
+//! ```
+//!
+//! Dispatch strips the query string, matches segments, and hands the
+//! handler a [`RequestCtx`] carrying the request, decoded path params,
+//! raw query pairs, and the worker-local registry snapshot for this
+//! request. A path that matches some route but not the method answers
+//! 405; nothing matching answers 404; both are counted against the
+//! telemetry's `(unmatched)` block. Per-route counters are recorded on
+//! every dispatch (DESIGN.md §11.2–§11.3).
+
+use crate::http::Request;
+use crate::json::JsonValue;
+use crate::registry::RegistrySnapshot;
+use crate::telemetry::{RouteStats, Telemetry};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One segment of a parsed route pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Segment {
+    /// Must match byte-for-byte.
+    Literal(&'static str),
+    /// Matches any single segment, captured under this name.
+    Param(&'static str),
+}
+
+/// Everything a handler gets: the raw request, the captured path
+/// params, the query string, and the registry snapshot the worker
+/// resolved for this request (lock-free; see `registry` module docs).
+pub struct RequestCtx<'a> {
+    /// The parsed request (method, path, headers, body).
+    pub request: &'a Request,
+    /// Raw query string, without the leading `?` (empty when absent).
+    pub query: &'a str,
+    /// The worker-local registry snapshot current at dispatch time.
+    pub snapshot: &'a Arc<RegistrySnapshot>,
+    params: Vec<(&'static str, &'a str)>,
+}
+
+impl<'a> RequestCtx<'a> {
+    /// A captured path parameter. Panics on a name the route pattern
+    /// does not declare — that is a handler bug, not an input error.
+    pub fn param(&self, name: &str) -> &'a str {
+        self.params
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("route pattern declares no param '{{{name}}}'"))
+    }
+
+    /// [`Self::param`] parsed as an id; `None` on non-numeric input
+    /// (handlers typically answer 404, matching "no such resource").
+    pub fn param_u64(&self, name: &str) -> Option<u64> {
+        self.param(name).parse().ok()
+    }
+
+    /// `key=value` pairs of the query string, in order. A bare `key`
+    /// yields `(key, "")`.
+    pub fn query_pairs(&self) -> impl Iterator<Item = (&'a str, &'a str)> {
+        self.query
+            .split('&')
+            .filter(|pair| !pair.is_empty())
+            .map(|pair| pair.split_once('=').unwrap_or((pair, "")))
+    }
+
+    /// Parse `offset` / `limit` pagination params, rejecting anything
+    /// else (callers with extra params pre-filter via [`Self::query_pairs`]).
+    /// Shared by `GET /models` and `GET /jobs`.
+    pub fn pagination(&self) -> Result<Pagination, String> {
+        let mut page = Pagination::default();
+        for (key, value) in self.query_pairs() {
+            if !page.try_accept(key, value)? {
+                return Err(format!("unknown query parameter '{key}'"));
+            }
+        }
+        Ok(page)
+    }
+}
+
+/// Decoded `offset`/`limit` window over a stable listing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Pagination {
+    /// Items to skip from the front of the full listing.
+    pub offset: usize,
+    /// Maximum items to return; `None` = unbounded.
+    pub limit: Option<usize>,
+}
+
+impl Pagination {
+    /// Consume one query pair if it is `offset` or `limit`. Returns
+    /// `Ok(false)` when the key is not a pagination param, `Err` on an
+    /// unparsable value.
+    pub fn try_accept(&mut self, key: &str, value: &str) -> Result<bool, String> {
+        let parsed = |v: &str| {
+            v.parse::<usize>()
+                .map_err(|_| format!("'{key}' must be a non-negative integer, got '{v}'"))
+        };
+        match key {
+            "offset" => self.offset = parsed(value)?,
+            "limit" => self.limit = Some(parsed(value)?),
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Apply the window to an iterator.
+    pub fn window<T>(self, items: impl Iterator<Item = T>) -> impl Iterator<Item = T> {
+        items
+            .skip(self.offset)
+            .take(self.limit.unwrap_or(usize::MAX))
+    }
+}
+
+/// Handler signature: pure function from request context to
+/// `(status, JSON body)`. Called concurrently from every worker thread;
+/// shared state must be `Sync` (captured `Arc`s, atomics, ...).
+type Handler = dyn Fn(&RequestCtx<'_>) -> (u16, JsonValue) + Send + Sync;
+
+struct Route {
+    method: &'static str,
+    segments: Vec<Segment>,
+    handler: Box<Handler>,
+    stats: Arc<RouteStats>,
+}
+
+impl std::fmt::Debug for Route {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Route")
+            .field("method", &self.method)
+            .field("segments", &self.segments)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A rendered response ready for the wire.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Rendered JSON body.
+    pub body: String,
+}
+
+/// The route table. Built at server setup (single-threaded), then
+/// shared immutably by every worker.
+#[derive(Debug)]
+pub struct Router {
+    routes: Vec<Route>,
+    telemetry: Arc<Telemetry>,
+}
+
+impl Router {
+    /// Empty table recording into `telemetry`.
+    pub fn new(telemetry: Arc<Telemetry>) -> Self {
+        Self {
+            routes: Vec::new(),
+            telemetry,
+        }
+    }
+
+    /// The telemetry table routes record into.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
+    /// Register a handler for `method` + `pattern`. Patterns look like
+    /// `/jobs/{id}/cancel`: literal segments match exactly, `{name}`
+    /// captures one segment. Panics on a duplicate (method, pattern)
+    /// registration — routes are wired once at startup, so a collision
+    /// is a programming error worth failing loudly on.
+    pub fn route(
+        &mut self,
+        method: &'static str,
+        pattern: &'static str,
+        handler: impl Fn(&RequestCtx<'_>) -> (u16, JsonValue) + Send + Sync + 'static,
+    ) -> &mut Self {
+        let segments: Vec<Segment> = pattern
+            .split('/')
+            .filter(|s| !s.is_empty())
+            .map(
+                |s| match s.strip_prefix('{').and_then(|s| s.strip_suffix('}')) {
+                    Some(name) => Segment::Param(name),
+                    None => Segment::Literal(s),
+                },
+            )
+            .collect();
+        let same_shape = |a: &[Segment], b: &[Segment]| {
+            a.len() == b.len()
+                && a.iter().zip(b).all(|(x, y)| match (x, y) {
+                    (Segment::Literal(l), Segment::Literal(r)) => l == r,
+                    (Segment::Param(_), Segment::Param(_)) => true,
+                    _ => false,
+                })
+        };
+        assert!(
+            !self
+                .routes
+                .iter()
+                .any(|r| r.method == method && same_shape(&r.segments, &segments)),
+            "duplicate route {method} {pattern}"
+        );
+        let stats = self.telemetry.register(method, pattern);
+        self.routes.push(Route {
+            method,
+            segments,
+            handler: Box::new(handler),
+            stats,
+        });
+        self
+    }
+
+    /// Dispatch one request against the table and record telemetry.
+    /// 405 when the path matches a route but the method does not, 404
+    /// when nothing matches.
+    pub fn dispatch(&self, request: &Request, snapshot: &Arc<RegistrySnapshot>) -> Response {
+        let started = Instant::now();
+        let (path, query) = request
+            .path
+            .split_once('?')
+            .unwrap_or((request.path.as_str(), ""));
+        let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+
+        let mut path_matched = false;
+        for route in &self.routes {
+            let Some(params) = match_segments(&route.segments, &segments) else {
+                continue;
+            };
+            if route.method != request.method {
+                path_matched = true;
+                continue;
+            }
+            let ctx = RequestCtx {
+                request,
+                query,
+                snapshot,
+                params,
+            };
+            let (status, body) = (route.handler)(&ctx);
+            let body = body.render();
+            route
+                .stats
+                .record(status, request.body.len(), body.len(), started.elapsed());
+            return Response { status, body };
+        }
+
+        let (status, msg) = if path_matched {
+            (405, "method not allowed")
+        } else {
+            (404, "not found")
+        };
+        let body = JsonValue::obj(vec![("error", JsonValue::Str(msg.into()))]).render();
+        self.telemetry.unmatched().record(
+            status,
+            request.body.len(),
+            body.len(),
+            started.elapsed(),
+        );
+        Response { status, body }
+    }
+}
+
+/// Match a pattern against path segments, returning captures on success.
+fn match_segments<'a>(
+    pattern: &[Segment],
+    path: &[&'a str],
+) -> Option<Vec<(&'static str, &'a str)>> {
+    if pattern.len() != path.len() {
+        return None;
+    }
+    let mut params = Vec::new();
+    for (seg, part) in pattern.iter().zip(path) {
+        match seg {
+            Segment::Literal(lit) => {
+                if lit != part {
+                    return None;
+                }
+            }
+            Segment::Param(name) => params.push((*name, *part)),
+        }
+    }
+    Some(params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(method: &str, path: &str) -> Request {
+        Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    fn test_router() -> Router {
+        let mut router = Router::new(Arc::new(Telemetry::new()));
+        router.route("GET", "/models", |_| (200, JsonValue::Str("list".into())));
+        router.route("GET", "/models/{id}/detail", |ctx| {
+            (200, JsonValue::Str(format!("detail:{}", ctx.param("id"))))
+        });
+        router.route("POST", "/models/{id}/query", |ctx| {
+            (200, JsonValue::Str(format!("query:{}", ctx.param("id"))))
+        });
+        router.route("GET", "/jobs/{id}", |ctx| match ctx.param_u64("id") {
+            Some(id) => (200, JsonValue::Num(id as f64)),
+            None => (404, JsonValue::Str("bad id".into())),
+        });
+        router
+    }
+
+    #[test]
+    fn literal_and_param_matching() {
+        let router = test_router();
+        let empty = Arc::new(RegistrySnapshot::default());
+        let r = router.dispatch(&request("GET", "/models"), &empty);
+        assert_eq!((r.status, r.body.as_str()), (200, "\"list\""));
+        let r = router.dispatch(&request("POST", "/models/m1/query"), &empty);
+        assert_eq!((r.status, r.body.as_str()), (200, "\"query:m1\""));
+        let r = router.dispatch(&request("GET", "/models/m1/detail"), &empty);
+        assert_eq!((r.status, r.body.as_str()), (200, "\"detail:m1\""));
+    }
+
+    #[test]
+    fn method_mismatch_is_405_and_no_match_is_404() {
+        let router = test_router();
+        let empty = Arc::new(RegistrySnapshot::default());
+        assert_eq!(
+            router
+                .dispatch(&request("DELETE", "/models"), &empty)
+                .status,
+            405
+        );
+        assert_eq!(
+            router
+                .dispatch(&request("GET", "/models/m1/query"), &empty)
+                .status,
+            405
+        );
+        assert_eq!(
+            router.dispatch(&request("GET", "/nowhere"), &empty).status,
+            404
+        );
+        assert_eq!(
+            router
+                .dispatch(&request("GET", "/models/m1/query/deep"), &empty)
+                .status,
+            404
+        );
+        assert_eq!(router.telemetry().unmatched().requests(), 4);
+    }
+
+    #[test]
+    fn typed_params_and_query_pairs() {
+        let router = test_router();
+        let empty = Arc::new(RegistrySnapshot::default());
+        assert_eq!(
+            router.dispatch(&request("GET", "/jobs/42"), &empty).body,
+            "42"
+        );
+        assert_eq!(
+            router
+                .dispatch(&request("GET", "/jobs/notanid"), &empty)
+                .status,
+            404
+        );
+        // Query strings are stripped before matching.
+        assert_eq!(
+            router
+                .dispatch(&request("GET", "/jobs/7?ignored=1"), &empty)
+                .status,
+            200
+        );
+    }
+
+    #[test]
+    fn pagination_parsing() {
+        let req = request("GET", "/models");
+        let empty = Arc::new(RegistrySnapshot::default());
+        let ctx = RequestCtx {
+            request: &req,
+            query: "offset=2&limit=3",
+            snapshot: &empty,
+            params: Vec::new(),
+        };
+        let page = ctx.pagination().unwrap();
+        assert_eq!((page.offset, page.limit), (2, Some(3)));
+        let windowed: Vec<usize> = page.window(0..10).collect();
+        assert_eq!(windowed, vec![2, 3, 4]);
+
+        let bad = RequestCtx {
+            request: &req,
+            query: "offset=minus-one",
+            snapshot: &empty,
+            params: Vec::new(),
+        };
+        assert!(bad.pagination().is_err());
+        let unknown = RequestCtx {
+            request: &req,
+            query: "sort=asc",
+            snapshot: &empty,
+            params: Vec::new(),
+        };
+        assert!(unknown.pagination().unwrap_err().contains("unknown"));
+    }
+
+    #[test]
+    fn per_route_stats_are_recorded() {
+        let router = test_router();
+        let empty = Arc::new(RegistrySnapshot::default());
+        router.dispatch(&request("GET", "/models"), &empty);
+        router.dispatch(&request("GET", "/models"), &empty);
+        let json = router.telemetry().to_json();
+        let rows = json.get("routes").and_then(JsonValue::as_array).unwrap();
+        let models_row = rows
+            .iter()
+            .find(|r| r.get("path").and_then(JsonValue::as_str) == Some("/models"))
+            .unwrap();
+        assert_eq!(
+            models_row.get("requests").and_then(JsonValue::as_f64),
+            Some(2.0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate route")]
+    fn duplicate_registration_panics() {
+        let mut router = Router::new(Arc::new(Telemetry::new()));
+        router.route("GET", "/x/{a}", |_| (200, JsonValue::Null));
+        router.route("GET", "/x/{b}", |_| (200, JsonValue::Null));
+    }
+}

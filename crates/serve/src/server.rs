@@ -1,143 +1,42 @@
 //! The serving layer: a TCP model server on a scoped-thread worker pool.
 //!
-//! Threading model (DESIGN.md §8): one acceptor (the thread that called
-//! [`Server::serve`]) plus `workers` handler threads inside a single
-//! `std::thread::scope`. Accepted connections go through a
+//! Threading model (DESIGN.md §8, §11): one acceptor (the thread that
+//! called [`Server::serve`]) plus `workers` handler threads inside a
+//! single `std::thread::scope`. Accepted connections go through a
 //! `Mutex<VecDeque>` + `Condvar` hand-off; each worker owns a connection
-//! for its keep-alive lifetime. The model registry is an
-//! `RwLock<HashMap>` — queries take the read lock only long enough to
-//! clone an `Arc` to the (immutable) compiled engine, so concurrent reads
-//! never serialize on the lock and never block behind a long query.
+//! for its keep-alive lifetime, one reusable
+//! [`ConnBuffers`](crate::http::ConnBuffers) per connection. Each worker
+//! holds a [`RegistryReader`] — the lock-free snapshot cache — so a
+//! query's registry access is one atomic load; model inserts and
+//! evictions publish new snapshots without ever blocking a reader.
 //!
-//! Routes:
+//! Built-in routes (all further routes — e.g. `least-jobs`' `/jobs`
+//! endpoints — register through the same [`Router`] via
+//! [`Server::router_mut`]):
 //!
 //! | method | path                  | body              | response            |
 //! |--------|-----------------------|-------------------|---------------------|
 //! | GET    | `/healthz`            | —                 | liveness + counts   |
-//! | GET    | `/models`             | —                 | model listing       |
+//! | GET    | `/stats`              | —                 | per-route telemetry |
+//! | GET    | `/models?offset=&limit=` | —              | paginated listing   |
 //! | PUT    | `/models/{id}`        | artifact bytes    | registration report |
 //! | DELETE | `/models/{id}`        | —                 | eviction report     |
 //! | POST   | `/models/{id}/query`  | JSON query        | JSON answer         |
 //! | POST   | `/shutdown`           | —                 | ack, then drain     |
-//!
-//! Subsystems can mount additional routes without `serve` depending on
-//! them by passing a [`RouteExt`] to [`Server::bind_with_ext`] — the
-//! extension is consulted first, unmatched requests fall through to the
-//! built-in table. This is how `least-jobs` adds its `/jobs` endpoints
-//! onto the *same* server (and registry) that answers model queries.
 
-use crate::artifact::ModelArtifact;
 use crate::error::ServeError;
-use crate::http::{read_request, write_response, ReadOutcome, Request};
+use crate::http::{read_request, write_response, ConnBuffers, ReadOutcome};
 use crate::json::{parse as parse_json, JsonValue};
 use crate::query::{Gaussian, QueryEngine};
-use std::collections::{HashMap, VecDeque};
+use crate::registry::{ModelRegistry, RegistryReader, ServedModel};
+use crate::router::{RequestCtx, Router};
+use crate::telemetry::Telemetry;
+use std::collections::VecDeque;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
-
-/// A registered model: the artifact (kept for re-download/introspection)
-/// plus the compiled query engine.
-#[derive(Debug)]
-pub struct ServedModel {
-    /// The artifact as uploaded.
-    pub artifact: ModelArtifact,
-    /// Engine compiled at registration time.
-    pub engine: QueryEngine,
-    /// Registry-wide monotonic registration version: every successful
-    /// insert — including replacing an existing id — gets a strictly
-    /// larger version, so consumers (and the job layer's hot
-    /// re-registrations) can tell stale reads from fresh ones.
-    pub version: u64,
-}
-
-/// Concurrent model registry. Reads (queries, listings) take the shared
-/// lock; writes (uploads, evictions) the exclusive one.
-#[derive(Debug, Default)]
-pub struct ModelRegistry {
-    models: RwLock<HashMap<String, Arc<ServedModel>>>,
-    next_version: std::sync::atomic::AtomicU64,
-}
-
-impl ModelRegistry {
-    /// Empty registry.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Compile and register a model under `id`, replacing any previous
-    /// model with that id. Returns the assigned (monotonic) version.
-    pub fn insert(&self, id: &str, artifact: ModelArtifact) -> crate::error::Result<u64> {
-        let engine = QueryEngine::from_artifact(&artifact)?;
-        // The version is assigned under the write lock so that commit
-        // order matches version order: without this, two racing inserts
-        // of the same id could leave the lower version live after the
-        // higher one was observed. (The engine compile above is the
-        // expensive part and stays outside the lock.)
-        let mut models = self.models.write().expect("registry lock poisoned");
-        let version = 1 + self.next_version.fetch_add(1, Ordering::Relaxed);
-        let model = Arc::new(ServedModel {
-            artifact,
-            engine,
-            version,
-        });
-        models.insert(id.to_string(), model);
-        Ok(version)
-    }
-
-    /// Ensure every future version exceeds `floor`. Used when
-    /// re-registering persisted artifacts after a restart: the counter
-    /// is in-memory, so without a floor a rebooted registry would hand
-    /// out versions that collide with (and sort below) artifact files
-    /// already on disk.
-    pub fn advance_versions_past(&self, floor: u64) {
-        self.next_version
-            .fetch_max(floor, std::sync::atomic::Ordering::Relaxed);
-    }
-
-    /// Evict a model by id, returning it if it was registered. In-flight
-    /// queries holding the `Arc` finish unaffected.
-    pub fn remove(&self, id: &str) -> Option<Arc<ServedModel>> {
-        self.models
-            .write()
-            .expect("registry lock poisoned")
-            .remove(id)
-    }
-
-    /// Fetch a model by id (cheap `Arc` clone under the read lock).
-    pub fn get(&self, id: &str) -> Option<Arc<ServedModel>> {
-        self.models
-            .read()
-            .expect("registry lock poisoned")
-            .get(id)
-            .cloned()
-    }
-
-    /// Number of registered models.
-    pub fn len(&self) -> usize {
-        self.models.read().expect("registry lock poisoned").len()
-    }
-
-    /// True when no model is registered.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// `(id, model)` pairs sorted by id.
-    pub fn list(&self) -> Vec<(String, Arc<ServedModel>)> {
-        let mut out: Vec<_> = self
-            .models
-            .read()
-            .expect("registry lock poisoned")
-            .iter()
-            .map(|(k, v)| (k.clone(), Arc::clone(v)))
-            .collect();
-        out.sort_by(|a, b| a.0.cmp(&b.0));
-        out
-    }
-}
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -161,17 +60,6 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(10),
         }
     }
-}
-
-/// Extension point for mounting extra routes onto a [`Server`] without a
-/// dependency from `serve` on the subsystem that owns them.
-///
-/// Return `Some((status, body))` to claim the request, `None` to fall
-/// through to the built-in route table. Implementations are called from
-/// every worker thread concurrently and must synchronize internally.
-pub trait RouteExt: Send + Sync {
-    /// Try to answer `request`; `None` means "not my path".
-    fn route(&self, request: &Request) -> Option<(u16, JsonValue)>;
 }
 
 /// Shared mutable server state: the connection queue and shutdown flag.
@@ -209,13 +97,14 @@ impl ShutdownHandle {
     }
 }
 
-/// A bound-but-not-yet-serving model server.
+/// A bound-but-not-yet-serving model server. The route table is open
+/// for registration ([`Self::router_mut`]) until [`Self::serve`] runs.
 pub struct Server {
     listener: TcpListener,
     registry: Arc<ModelRegistry>,
     config: ServerConfig,
     state: Arc<ServerState>,
-    ext: Option<Arc<dyn RouteExt>>,
+    router: Router,
 }
 
 impl std::fmt::Debug for Server {
@@ -223,36 +112,35 @@ impl std::fmt::Debug for Server {
         f.debug_struct("Server")
             .field("listener", &self.listener)
             .field("config", &self.config)
-            .field("ext", &self.ext.as_ref().map(|_| "RouteExt"))
+            .field("router", &self.router)
             .finish_non_exhaustive()
     }
 }
 
 impl Server {
-    /// Bind to `addr` (use port 0 for an ephemeral port).
+    /// Bind to `addr` (use port 0 for an ephemeral port) and install the
+    /// built-in routes. Mount additional subsystems onto
+    /// [`Self::router_mut`] before calling [`Self::serve`].
     pub fn bind(
         addr: impl std::net::ToSocketAddrs,
         registry: Arc<ModelRegistry>,
         config: ServerConfig,
     ) -> std::io::Result<Self> {
-        Self::bind_with_ext(addr, registry, config, None)
-    }
-
-    /// [`Self::bind`] with an extension route table (see [`RouteExt`]),
-    /// consulted before the built-in routes on every request.
-    pub fn bind_with_ext(
-        addr: impl std::net::ToSocketAddrs,
-        registry: Arc<ModelRegistry>,
-        config: ServerConfig,
-        ext: Option<Arc<dyn RouteExt>>,
-    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
+        let state = Arc::new(ServerState::default());
+        let shutdown = ShutdownHandle {
+            state: Arc::clone(&state),
+            addr: listener.local_addr()?,
+        };
+        let telemetry = Arc::new(Telemetry::new());
+        let mut router = Router::new(Arc::clone(&telemetry));
+        install_builtin_routes(&mut router, &registry, &telemetry, &shutdown);
         Ok(Self {
             listener,
             registry,
             config,
-            state: Arc::new(ServerState::default()),
-            ext,
+            state,
+            router,
         })
     }
 
@@ -269,6 +157,18 @@ impl Server {
         }
     }
 
+    /// The route table, for mounting subsystem endpoints (this is how
+    /// `least-jobs` adds its `/jobs` routes onto the same server — and
+    /// the same telemetry — that answers model queries).
+    pub fn router_mut(&mut self) -> &mut Router {
+        &mut self.router
+    }
+
+    /// The telemetry table behind `GET /stats`.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        self.router.telemetry()
+    }
+
     /// Run until shutdown. Blocks the calling thread, which doubles as
     /// the acceptor; handler threads live in a `std::thread::scope`, so
     /// every worker has joined by the time this returns.
@@ -277,7 +177,7 @@ impl Server {
         let state = &self.state;
         let registry = &self.registry;
         let config = &self.config;
-        let ext = self.ext.as_deref();
+        let router = &self.router;
         let shutdown = ShutdownHandle {
             state: Arc::clone(&self.state),
             addr: self.local_addr(),
@@ -285,7 +185,8 @@ impl Server {
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 let shutdown = shutdown.clone();
-                scope.spawn(move || worker_loop(state, registry, config, ext, &shutdown));
+                let reader = registry.reader();
+                scope.spawn(move || worker_loop(state, router, reader, config, &shutdown));
             }
             for conn in self.listener.incoming() {
                 if state.shutdown.load(Ordering::SeqCst) {
@@ -312,12 +213,13 @@ impl Server {
     }
 }
 
-/// Worker: pull connections off the queue until shutdown drains it.
+/// Worker: pull connections off the queue until shutdown drains it. Owns
+/// the worker-local registry snapshot cache for its lifetime.
 fn worker_loop(
     state: &ServerState,
-    registry: &ModelRegistry,
+    router: &Router,
+    mut reader: RegistryReader,
     config: &ServerConfig,
-    ext: Option<&dyn RouteExt>,
     shutdown: &ShutdownHandle,
 ) {
     loop {
@@ -338,19 +240,24 @@ fn worker_loop(
             // Drain politely: the server is stopping.
             let mut stream = stream;
             let body = error_body("server is shutting down");
+            router
+                .telemetry()
+                .unmatched()
+                .record(503, 0, body.len(), Duration::ZERO);
             write_response(&mut stream, 503, "application/json", body.as_bytes(), false).ok();
             continue;
         }
-        handle_connection(stream, registry, config, ext, shutdown);
+        handle_connection(stream, router, &mut reader, config, shutdown);
     }
 }
 
-/// Serve one keep-alive connection to completion.
+/// Serve one keep-alive connection to completion, reusing one set of
+/// read/write buffers for its whole lifetime.
 fn handle_connection(
     stream: TcpStream,
-    registry: &ModelRegistry,
+    router: &Router,
+    registry_reader: &mut RegistryReader,
     config: &ServerConfig,
-    ext: Option<&dyn RouteExt>,
     shutdown: &ShutdownHandle,
 ) {
     stream.set_read_timeout(Some(config.read_timeout)).ok();
@@ -360,20 +267,19 @@ fn handle_connection(
     };
     let mut write_half = write_half;
     let mut reader = BufReader::new(stream);
+    let mut buffers = ConnBuffers::new();
     loop {
-        let request = match read_request(&mut reader, config.max_body_bytes) {
+        let request = match read_request(&mut reader, config.max_body_bytes, &mut buffers) {
             Ok(ReadOutcome::Ready(req)) => req,
             Ok(ReadOutcome::Closed) => return,
             Ok(ReadOutcome::Malformed(msg)) => {
-                let body = error_body(&msg);
-                write_response(
+                protocol_error(
+                    router,
+                    &mut buffers,
                     &mut write_half,
                     400,
-                    "application/json",
-                    body.as_bytes(),
-                    false,
-                )
-                .ok();
+                    &error_body(&msg),
+                );
                 return;
             }
             Ok(ReadOutcome::TooLarge(declared)) => {
@@ -381,34 +287,26 @@ fn handle_connection(
                     "body of {declared} bytes exceeds the {}-byte limit",
                     config.max_body_bytes
                 ));
-                write_response(
-                    &mut write_half,
-                    413,
-                    "application/json",
-                    body.as_bytes(),
-                    false,
-                )
-                .ok();
+                protocol_error(router, &mut buffers, &mut write_half, 413, &body);
                 return;
             }
             // Timeouts (idle keep-alive) and resets: just drop the line.
             Err(_) => return,
         };
         let close_after = request.wants_close() || shutdown.is_shutdown();
-        let (status, body) = match ext.and_then(|e| e.route(&request)) {
-            Some(answer) => answer,
-            None => route(&request, registry, shutdown),
-        };
-        if write_response(
+        // One atomic load; the snapshot Arc is reused until a writer
+        // publishes, so queries never contend with registrations.
+        let snapshot = Arc::clone(registry_reader.current());
+        let response = router.dispatch(&request, &snapshot);
+        let sent = buffers.send_response(
             &mut write_half,
-            status,
+            response.status,
             "application/json",
-            body.render().as_bytes(),
+            response.body.as_bytes(),
             !close_after,
-        )
-        .is_err()
-            || close_after
-        {
+        );
+        buffers.recycle(request.body);
+        if sent.is_err() || close_after {
             return;
         }
     }
@@ -418,68 +316,129 @@ fn error_body(msg: &str) -> String {
     JsonValue::obj(vec![("error", JsonValue::Str(msg.into()))]).render()
 }
 
-/// Dispatch one request. Pure except for registry access and the
-/// shutdown trigger.
-fn route(
-    request: &Request,
-    registry: &ModelRegistry,
+/// Answer a request that never reached dispatch (unparseable or
+/// oversized), and record it against the telemetry's `(unmatched)`
+/// block so hostile/protocol-error traffic stays visible in `/stats`.
+fn protocol_error(
+    router: &Router,
+    buffers: &mut ConnBuffers,
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+) {
+    router
+        .telemetry()
+        .unmatched()
+        .record(status, 0, body.len(), Duration::ZERO);
+    buffers
+        .send_response(stream, status, "application/json", body.as_bytes(), false)
+        .ok();
+}
+
+fn error_json(status: u16, msg: &str) -> (u16, JsonValue) {
+    (
+        status,
+        JsonValue::obj(vec![("error", JsonValue::Str(msg.into()))]),
+    )
+}
+
+fn bad_request(msg: &str) -> (u16, JsonValue) {
+    error_json(400, msg)
+}
+
+/// One row of the `GET /models` listing.
+fn model_json(id: &str, model: &ServedModel) -> JsonValue {
+    JsonValue::obj(vec![
+        ("id", JsonValue::Str(id.to_string())),
+        ("version", JsonValue::Num(model.version as f64)),
+        ("d", JsonValue::Num(model.artifact.dim() as f64)),
+        (
+            "backend",
+            JsonValue::Str(model.artifact.weights.backend().into()),
+        ),
+        ("nnz", JsonValue::Num(model.artifact.weights.nnz() as f64)),
+        (
+            "fingerprint",
+            JsonValue::Str(model.artifact.meta.fingerprint.clone()),
+        ),
+    ])
+}
+
+/// Register the serve-layer routes onto `router`. Read paths run on the
+/// request's registry snapshot (no locks); write paths capture the
+/// registry itself.
+fn install_builtin_routes(
+    router: &mut Router,
+    registry: &Arc<ModelRegistry>,
+    telemetry: &Arc<Telemetry>,
     shutdown: &ShutdownHandle,
-) -> (u16, JsonValue) {
-    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
-    match (request.method.as_str(), segments.as_slice()) {
-        ("GET", ["healthz"]) => (
+) {
+    router.route("GET", "/healthz", |ctx| {
+        (
             200,
             JsonValue::obj(vec![
                 ("status", JsonValue::Str("ok".into())),
-                ("models", JsonValue::Num(registry.len() as f64)),
+                ("models", JsonValue::Num(ctx.snapshot.len() as f64)),
             ]),
-        ),
-        ("GET", ["models"]) => {
-            let listing = registry
-                .list()
-                .into_iter()
-                .map(|(id, model)| {
-                    JsonValue::obj(vec![
-                        ("id", JsonValue::Str(id)),
-                        ("version", JsonValue::Num(model.version as f64)),
-                        ("d", JsonValue::Num(model.artifact.dim() as f64)),
-                        (
-                            "backend",
-                            JsonValue::Str(model.artifact.weights.backend().into()),
+        )
+    });
+
+    let stats = Arc::clone(telemetry);
+    router.route("GET", "/stats", move |_ctx| (200, stats.to_json()));
+
+    router.route("GET", "/models", |ctx| {
+        let page = match ctx.pagination() {
+            Ok(page) => page,
+            Err(msg) => return bad_request(&msg),
+        };
+        let snapshot = ctx.snapshot;
+        let listing: Vec<JsonValue> = page
+            .window(snapshot.iter())
+            .map(|(id, model)| model_json(id, model))
+            .collect();
+        (
+            200,
+            JsonValue::obj(vec![
+                ("models", JsonValue::Arr(listing)),
+                ("total", JsonValue::Num(snapshot.len() as f64)),
+                ("offset", JsonValue::Num(page.offset as f64)),
+            ]),
+        )
+    });
+
+    let upload = {
+        let registry = Arc::clone(registry);
+        Arc::new(move |ctx: &RequestCtx<'_>| {
+            let id = ctx.param("id");
+            match crate::artifact::ModelArtifact::from_bytes(&ctx.request.body) {
+                Ok(artifact) => {
+                    let d = artifact.dim();
+                    let nnz = artifact.weights.nnz();
+                    match registry.insert(id, artifact) {
+                        Ok(version) => (
+                            201,
+                            JsonValue::obj(vec![
+                                ("id", JsonValue::Str(id.to_string())),
+                                ("version", JsonValue::Num(version as f64)),
+                                ("d", JsonValue::Num(d as f64)),
+                                ("nnz", JsonValue::Num(nnz as f64)),
+                            ]),
                         ),
-                        ("nnz", JsonValue::Num(model.artifact.weights.nnz() as f64)),
-                        (
-                            "fingerprint",
-                            JsonValue::Str(model.artifact.meta.fingerprint.clone()),
-                        ),
-                    ])
-                })
-                .collect();
-            (
-                200,
-                JsonValue::obj(vec![("models", JsonValue::Arr(listing))]),
-            )
-        }
-        ("PUT" | "POST", ["models", id]) => match ModelArtifact::from_bytes(&request.body) {
-            Ok(artifact) => {
-                let d = artifact.dim();
-                let nnz = artifact.weights.nnz();
-                match registry.insert(id, artifact) {
-                    Ok(version) => (
-                        201,
-                        JsonValue::obj(vec![
-                            ("id", JsonValue::Str(id.to_string())),
-                            ("version", JsonValue::Num(version as f64)),
-                            ("d", JsonValue::Num(d as f64)),
-                            ("nnz", JsonValue::Num(nnz as f64)),
-                        ]),
-                    ),
-                    Err(e) => bad_request(&e.to_string()),
+                        Err(e) => bad_request(&e.to_string()),
+                    }
                 }
+                Err(e) => bad_request(&e.to_string()),
             }
-            Err(e) => bad_request(&e.to_string()),
-        },
-        ("DELETE", ["models", id]) => match registry.remove(id) {
+        })
+    };
+    let put_upload = Arc::clone(&upload);
+    router.route("PUT", "/models/{id}", move |ctx| put_upload(ctx));
+    router.route("POST", "/models/{id}", move |ctx| upload(ctx));
+
+    let evict_registry = Arc::clone(registry);
+    router.route("DELETE", "/models/{id}", move |ctx| {
+        let id = ctx.param("id");
+        match evict_registry.remove(id) {
             Some(model) => (
                 200,
                 JsonValue::obj(vec![
@@ -488,44 +447,29 @@ fn route(
                     ("evicted", JsonValue::Bool(true)),
                 ]),
             ),
-            None => (
-                404,
-                JsonValue::obj(vec![("error", JsonValue::Str(format!("no model '{id}'")))]),
-            ),
-        },
-        ("POST", ["models", id, "query"]) => match registry.get(id) {
-            None => (
-                404,
-                JsonValue::obj(vec![("error", JsonValue::Str(format!("no model '{id}'")))]),
-            ),
-            Some(model) => match answer_query(&model.engine, &request.body) {
+            None => error_json(404, &format!("no model '{id}'")),
+        }
+    });
+
+    router.route("POST", "/models/{id}/query", |ctx| {
+        let id = ctx.param("id");
+        match ctx.snapshot.get(id) {
+            None => error_json(404, &format!("no model '{id}'")),
+            Some(model) => match answer_query(&model.engine, &ctx.request.body) {
                 Ok(answer) => (200, answer),
                 Err(msg) => bad_request(&msg),
             },
-        },
-        ("POST", ["shutdown"]) => {
-            shutdown.shutdown();
-            (
-                200,
-                JsonValue::obj(vec![("status", JsonValue::Str("shutting down".into()))]),
-            )
         }
-        (_, ["healthz" | "models" | "shutdown", ..]) => (
-            405,
-            JsonValue::obj(vec![("error", JsonValue::Str("method not allowed".into()))]),
-        ),
-        _ => (
-            404,
-            JsonValue::obj(vec![("error", JsonValue::Str("not found".into()))]),
-        ),
-    }
-}
+    });
 
-fn bad_request(msg: &str) -> (u16, JsonValue) {
-    (
-        400,
-        JsonValue::obj(vec![("error", JsonValue::Str(msg.into()))]),
-    )
+    let shutdown = shutdown.clone();
+    router.route("POST", "/shutdown", move |_ctx| {
+        shutdown.shutdown();
+        (
+            200,
+            JsonValue::obj(vec![("status", JsonValue::Str("shutting down".into()))]),
+        )
+    });
 }
 
 /// Decode and evaluate one JSON query against an engine.
@@ -620,7 +564,7 @@ fn answer_query(engine: &QueryEngine, body: &[u8]) -> Result<JsonValue, String> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::artifact::{ModelMeta, WeightMatrix};
+    use crate::artifact::{ModelArtifact, ModelMeta, WeightMatrix};
     use least_linalg::DenseMatrix;
 
     fn demo_artifact() -> ModelArtifact {
@@ -681,44 +625,5 @@ mod tests {
         assert!(answer_query(&e, br#"{"kind":"parents","node":-1}"#).is_err());
         assert!(answer_query(&e, br#"{"kind":"parents","node":99}"#).is_err());
         assert!(answer_query(&e, br#"{"kind":"posterior","target":0,"evidence":[[1]]}"#).is_err());
-    }
-
-    #[test]
-    fn registry_insert_get_list() {
-        let reg = ModelRegistry::new();
-        assert!(reg.is_empty());
-        reg.insert("m1", demo_artifact()).unwrap();
-        reg.insert("m0", demo_artifact()).unwrap();
-        assert_eq!(reg.len(), 2);
-        assert!(reg.get("m1").is_some());
-        assert!(reg.get("nope").is_none());
-        let ids: Vec<String> = reg.list().into_iter().map(|(id, _)| id).collect();
-        assert_eq!(ids, vec!["m0", "m1"]);
-        // Replacement keeps the count.
-        reg.insert("m1", demo_artifact()).unwrap();
-        assert_eq!(reg.len(), 2);
-    }
-
-    #[test]
-    fn registry_versions_are_monotonic_across_replace_and_remove() {
-        let reg = ModelRegistry::new();
-        let v1 = reg.insert("m", demo_artifact()).unwrap();
-        let v2 = reg.insert("m", demo_artifact()).unwrap();
-        assert!(v2 > v1, "replacement must get a fresh version");
-        assert_eq!(reg.get("m").unwrap().version, v2);
-        let evicted = reg.remove("m").expect("was registered");
-        assert_eq!(evicted.version, v2);
-        assert!(reg.get("m").is_none());
-        assert!(reg.remove("m").is_none(), "double-remove reports absence");
-        let v3 = reg.insert("m", demo_artifact()).unwrap();
-        assert!(v3 > v2, "re-registration after eviction keeps climbing");
-        // A restart re-seeding the counter keeps versions above any
-        // previously persisted artifact.
-        reg.advance_versions_past(100);
-        let v4 = reg.insert("m", demo_artifact()).unwrap();
-        assert!(v4 > 100);
-        reg.advance_versions_past(5); // floors never move backwards
-        let v5 = reg.insert("m", demo_artifact()).unwrap();
-        assert!(v5 > v4);
     }
 }

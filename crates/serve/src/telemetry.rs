@@ -1,0 +1,239 @@
+//! Per-route serving telemetry: lock-free atomic counters surfaced at
+//! `GET /stats`.
+//!
+//! Every route registered with the [`Router`](crate::router::Router)
+//! gets one [`RouteStats`] block — requests, status classes, body bytes
+//! in/out, and the maximum observed latency (exact microseconds plus the
+//! power-of-two bucket it falls in). Recording is a handful of `Relaxed`
+//! atomic RMWs on the handler's way out, so the counters add no
+//! synchronization to the hot path; rendering reads whatever is current
+//! without stopping writers. Requests that match no route are folded
+//! into a single `(unmatched)` block so probe traffic is visible too.
+//! See DESIGN.md §11.3.
+
+use crate::json::JsonValue;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Counters for one route. All atomic; `record` is wait-free.
+#[derive(Debug)]
+pub struct RouteStats {
+    method: &'static str,
+    pattern: &'static str,
+    requests: AtomicU64,
+    /// Status classes 2xx/3xx/4xx/5xx (1xx never leaves this server).
+    classes: [AtomicU64; 4],
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    max_latency_us: AtomicU64,
+}
+
+impl RouteStats {
+    fn new(method: &'static str, pattern: &'static str) -> Self {
+        Self {
+            method,
+            pattern,
+            requests: AtomicU64::new(0),
+            classes: [const { AtomicU64::new(0) }; 4],
+            bytes_in: AtomicU64::new(0),
+            bytes_out: AtomicU64::new(0),
+            max_latency_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Fold one handled request into the counters.
+    pub fn record(&self, status: u16, bytes_in: usize, bytes_out: usize, latency: Duration) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if let Some(class) = self.classes.get((status as usize / 100).wrapping_sub(2)) {
+            class.fetch_add(1, Ordering::Relaxed);
+        }
+        self.bytes_in.fetch_add(bytes_in as u64, Ordering::Relaxed);
+        self.bytes_out
+            .fetch_add(bytes_out as u64, Ordering::Relaxed);
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.max_latency_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Total requests recorded so far.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Requests in a status class, keyed by its first digit (2 → 2xx).
+    pub fn class(&self, first_digit: usize) -> u64 {
+        self.classes
+            .get(first_digit.wrapping_sub(2))
+            .map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    fn to_json(&self) -> JsonValue {
+        let max_us = self.max_latency_us.load(Ordering::Relaxed);
+        JsonValue::obj(vec![
+            ("method", JsonValue::Str(self.method.into())),
+            ("path", JsonValue::Str(self.pattern.into())),
+            ("requests", JsonValue::Num(self.requests() as f64)),
+            (
+                "status",
+                JsonValue::obj(vec![
+                    ("2xx", JsonValue::Num(self.class(2) as f64)),
+                    ("3xx", JsonValue::Num(self.class(3) as f64)),
+                    ("4xx", JsonValue::Num(self.class(4) as f64)),
+                    ("5xx", JsonValue::Num(self.class(5) as f64)),
+                ]),
+            ),
+            (
+                "bytes_in",
+                JsonValue::Num(self.bytes_in.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "bytes_out",
+                JsonValue::Num(self.bytes_out.load(Ordering::Relaxed) as f64),
+            ),
+            ("max_latency_us", JsonValue::Num(max_us as f64)),
+            (
+                "max_latency_bucket_us",
+                JsonValue::Num(latency_bucket_us(max_us) as f64),
+            ),
+        ])
+    }
+}
+
+/// Smallest power-of-two microsecond bucket holding `us` (0 stays 0).
+pub fn latency_bucket_us(us: u64) -> u64 {
+    if us == 0 {
+        0
+    } else {
+        us.checked_next_power_of_two().unwrap_or(u64::MAX)
+    }
+}
+
+/// The server-wide telemetry table: one [`RouteStats`] per registered
+/// route plus the `(unmatched)` fallback. Registration takes a short
+/// mutex (server setup only); recording and rendering are lock-free.
+#[derive(Debug)]
+pub struct Telemetry {
+    routes: Mutex<Vec<Arc<RouteStats>>>,
+    unmatched: Arc<RouteStats>,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Telemetry {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self {
+            routes: Mutex::new(Vec::new()),
+            unmatched: Arc::new(RouteStats::new("*", "(unmatched)")),
+        }
+    }
+
+    /// Add a counter block for a route; called once per `Router::route`.
+    pub fn register(&self, method: &'static str, pattern: &'static str) -> Arc<RouteStats> {
+        let stats = Arc::new(RouteStats::new(method, pattern));
+        self.routes
+            .lock()
+            .expect("telemetry lock poisoned")
+            .push(Arc::clone(&stats));
+        stats
+    }
+
+    /// The shared block for requests that matched no route (404/405).
+    pub fn unmatched(&self) -> &Arc<RouteStats> {
+        &self.unmatched
+    }
+
+    /// Render the whole table (the `GET /stats` response body): one
+    /// entry per route in registration order, the unmatched block, and
+    /// server-wide totals.
+    pub fn to_json(&self) -> JsonValue {
+        let routes: Vec<Arc<RouteStats>> =
+            self.routes.lock().expect("telemetry lock poisoned").clone();
+        let mut total_requests = 0u64;
+        let mut total_2xx = 0u64;
+        let all = routes.iter().chain(std::iter::once(&self.unmatched));
+        let rows: Vec<JsonValue> = all
+            .map(|stats| {
+                total_requests += stats.requests();
+                total_2xx += stats.class(2);
+                stats.to_json()
+            })
+            .collect();
+        JsonValue::obj(vec![
+            ("routes", JsonValue::Arr(rows)),
+            (
+                "totals",
+                JsonValue::obj(vec![
+                    ("requests", JsonValue::Num(total_requests as f64)),
+                    ("2xx", JsonValue::Num(total_2xx as f64)),
+                ]),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_counts_classes_bytes_and_max_latency() {
+        let t = Telemetry::new();
+        let s = t.register("GET", "/healthz");
+        s.record(200, 10, 100, Duration::from_micros(50));
+        s.record(404, 5, 20, Duration::from_micros(900));
+        s.record(503, 0, 0, Duration::from_micros(3));
+        assert_eq!(s.requests(), 3);
+        assert_eq!((s.class(2), s.class(4), s.class(5)), (1, 1, 1));
+        let json = s.to_json();
+        assert_eq!(json.get("bytes_in").and_then(JsonValue::as_f64), Some(15.0));
+        assert_eq!(
+            json.get("bytes_out").and_then(JsonValue::as_f64),
+            Some(120.0)
+        );
+        assert_eq!(
+            json.get("max_latency_us").and_then(JsonValue::as_f64),
+            Some(900.0)
+        );
+        assert_eq!(
+            json.get("max_latency_bucket_us")
+                .and_then(JsonValue::as_f64),
+            Some(1024.0)
+        );
+    }
+
+    #[test]
+    fn latency_buckets_are_powers_of_two() {
+        assert_eq!(latency_bucket_us(0), 0);
+        assert_eq!(latency_bucket_us(1), 1);
+        assert_eq!(latency_bucket_us(3), 4);
+        assert_eq!(latency_bucket_us(1024), 1024);
+        assert_eq!(latency_bucket_us(1025), 2048);
+        assert_eq!(latency_bucket_us(u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn table_renders_totals_and_unmatched() {
+        let t = Telemetry::new();
+        let a = t.register("GET", "/a");
+        a.record(200, 0, 2, Duration::ZERO);
+        t.unmatched().record(404, 0, 10, Duration::ZERO);
+        let json = t.to_json();
+        let rows = json.get("routes").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(rows.len(), 2, "registered route + unmatched");
+        assert_eq!(
+            rows[1].get("path").and_then(JsonValue::as_str),
+            Some("(unmatched)")
+        );
+        let totals = json.get("totals").unwrap();
+        assert_eq!(
+            totals.get("requests").and_then(JsonValue::as_f64),
+            Some(2.0)
+        );
+        assert_eq!(totals.get("2xx").and_then(JsonValue::as_f64), Some(1.0));
+    }
+}

@@ -1,0 +1,250 @@
+//! HTTP parser hardening: the request reader must map *every* hostile
+//! byte stream to a typed [`ReadOutcome`] — `Ready`, `Closed`,
+//! `Malformed` (→ 400) or `TooLarge` (→ 413) — and never panic, hang,
+//! or mis-frame. The parser is generic over `BufRead`, so this suite
+//! drives it directly with torn reads, pipelined requests, conflicting
+//! `Content-Length` declarations, oversized lines, and a property-style
+//! storm of mutated inputs, without a socket in sight.
+
+use least_linalg::Xoshiro256pp;
+use least_serve::http::{read_request, ConnBuffers, ReadOutcome};
+use std::io::{BufReader, Cursor, Read};
+
+const MAX_BODY: usize = 64 * 1024;
+
+/// Feed one byte stream to the parser (fresh buffers).
+fn parse(bytes: &[u8]) -> ReadOutcome {
+    let mut reader = Cursor::new(bytes.to_vec());
+    let mut buffers = ConnBuffers::new();
+    read_request(&mut reader, MAX_BODY, &mut buffers).expect("in-memory reads cannot io-fail")
+}
+
+fn is_malformed(outcome: &ReadOutcome) -> bool {
+    matches!(outcome, ReadOutcome::Malformed(_))
+}
+
+/// A reader that delivers at most `chunk` bytes per `read` call — the
+/// torn-delivery pattern of a slow or adversarial peer.
+struct Torn<'a> {
+    data: &'a [u8],
+    pos: usize,
+    chunk: usize,
+}
+
+impl Read for Torn<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.chunk.min(buf.len()).min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+fn valid_post(path: &str, body: &[u8]) -> Vec<u8> {
+    let mut bytes = format!(
+        "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    bytes.extend_from_slice(body);
+    bytes
+}
+
+#[test]
+fn torn_reads_parse_identically_at_every_chunk_size() {
+    let bytes = valid_post("/models/m/query", br#"{"kind":"parents","node":0}"#);
+    for chunk in 1..=9 {
+        let torn = Torn {
+            data: &bytes,
+            pos: 0,
+            chunk,
+        };
+        let mut reader = BufReader::with_capacity(2, torn);
+        let mut buffers = ConnBuffers::new();
+        match read_request(&mut reader, MAX_BODY, &mut buffers).unwrap() {
+            ReadOutcome::Ready(req) => {
+                assert_eq!(req.method, "POST");
+                assert_eq!(req.path, "/models/m/query");
+                assert_eq!(req.body, br#"{"kind":"parents","node":0}"#);
+            }
+            other => panic!("chunk={chunk}: expected Ready, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn pipelined_requests_parse_in_order_from_one_buffer() {
+    let mut bytes = valid_post("/first", b"one");
+    bytes.extend_from_slice(&valid_post("/second", b"two!"));
+    bytes.extend_from_slice(b"GET /third HTTP/1.1\r\n\r\n");
+    let mut reader = Cursor::new(bytes);
+    let mut buffers = ConnBuffers::new();
+
+    for (path, body) in [
+        ("/first", b"one".as_slice()),
+        ("/second", b"two!".as_slice()),
+        ("/third", b"".as_slice()),
+    ] {
+        match read_request(&mut reader, MAX_BODY, &mut buffers).unwrap() {
+            ReadOutcome::Ready(req) => {
+                assert_eq!(req.path, path);
+                assert_eq!(req.body, body);
+                // Keep-alive turn: hand the body allocation back.
+                buffers.recycle(req.body);
+            }
+            other => panic!("expected Ready for {path}, got {other:?}"),
+        }
+    }
+    assert!(matches!(
+        read_request(&mut reader, MAX_BODY, &mut buffers).unwrap(),
+        ReadOutcome::Closed
+    ));
+}
+
+#[test]
+fn content_length_coherence() {
+    // Case-insensitive header name.
+    let ok = parse(b"POST / HTTP/1.1\r\ncOnTeNt-LeNgTh: 2\r\n\r\nhi");
+    assert!(matches!(ok, ReadOutcome::Ready(ref r) if r.body == b"hi"));
+    // Duplicates that agree are accepted.
+    let dup = parse(b"POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nhi");
+    assert!(matches!(dup, ReadOutcome::Ready(ref r) if r.body == b"hi"));
+    // Duplicates that conflict are the classic smuggling vector: 400.
+    let conflict = parse(b"POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 3\r\n\r\nhi!");
+    assert!(is_malformed(&conflict), "{conflict:?}");
+    // Unparsable declarations: 400, not a guess.
+    for bad in ["-1", "2x", "9999999999999999999999999999", "1 2"] {
+        let outcome =
+            parse(format!("POST / HTTP/1.1\r\nContent-Length: {bad}\r\n\r\nhi").as_bytes());
+        assert!(
+            is_malformed(&outcome),
+            "content-length {bad:?}: {outcome:?}"
+        );
+    }
+}
+
+#[test]
+fn oversized_lines_and_header_floods_are_400_not_a_hang() {
+    let long_path = "/".repeat(10 * 1024);
+    let outcome = parse(format!("GET {long_path} HTTP/1.1\r\n\r\n").as_bytes());
+    assert!(is_malformed(&outcome), "{outcome:?}");
+
+    let long_header = format!("GET / HTTP/1.1\r\nx: {}\r\n\r\n", "v".repeat(10 * 1024));
+    assert!(is_malformed(&parse(long_header.as_bytes())));
+
+    let mut flood = String::from("GET / HTTP/1.1\r\n");
+    for i in 0..100 {
+        flood.push_str(&format!("x-{i}: v\r\n"));
+    }
+    flood.push_str("\r\n");
+    assert!(is_malformed(&parse(flood.as_bytes())));
+}
+
+#[test]
+fn truncation_is_typed_never_silent() {
+    // EOF mid-headers.
+    assert!(is_malformed(&parse(b"GET / HTTP/1.1\r\nHost: t\r\n")));
+    // EOF mid-body.
+    assert!(is_malformed(&parse(
+        b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"
+    )));
+    // Clean EOF between requests is Closed, not an error.
+    assert!(matches!(parse(b""), ReadOutcome::Closed));
+}
+
+#[test]
+fn declared_oversize_is_413_with_the_declared_length() {
+    let outcome = parse(
+        format!(
+            "PUT /models/big HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        )
+        .as_bytes(),
+    );
+    match outcome {
+        ReadOutcome::TooLarge(declared) => assert_eq!(declared, MAX_BODY + 1),
+        other => panic!("expected TooLarge, got {other:?}"),
+    }
+}
+
+#[test]
+fn malformed_grammar_cases() {
+    for (case, bytes) in [
+        ("missing version", b"GET /\r\n\r\n".as_slice()),
+        ("bad version", b"GET / HTTP/2.0\r\n\r\n"),
+        ("colonless header", b"GET / HTTP/1.1\r\nnocolon\r\n\r\n"),
+        ("non-utf8 header", b"GET / HTTP/1.1\r\nx: \xff\xfe\r\n\r\n"),
+        ("non-utf8 request line", b"GET /\xff HTTP/1.1\r\n\r\n"),
+        (
+            "chunked encoding",
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+        ),
+    ] {
+        let outcome = parse(bytes);
+        assert!(is_malformed(&outcome), "{case}: {outcome:?}");
+    }
+    // Bare-LF line endings are tolerated (lenient like the original).
+    assert!(matches!(
+        parse(b"GET / HTTP/1.1\nHost: t\n\n"),
+        ReadOutcome::Ready(_)
+    ));
+}
+
+/// Property-style storm: hundreds of pseudo-random mutations of a valid
+/// request — truncations, byte flips, garbage injections, random soup —
+/// must all classify into a typed outcome without panicking, and a
+/// `Ready` must always frame the body exactly as declared.
+#[test]
+fn mutation_storm_never_panics_and_always_classifies() {
+    let mut rng = Xoshiro256pp::new(0x44A7);
+    let base = valid_post("/models/m/query", br#"{"kind":"markov_blanket","node":3}"#);
+    for case in 0..600 {
+        let mut bytes = base.clone();
+        match case % 4 {
+            // Truncate at a random point.
+            0 => bytes.truncate(rng.next_below(bytes.len() + 1)),
+            // Flip 1..4 random bytes.
+            1 => {
+                for _ in 0..1 + rng.next_below(3) {
+                    let i = rng.next_below(bytes.len());
+                    bytes[i] ^= (1 + rng.next_below(255)) as u8;
+                }
+            }
+            // Insert garbage at a random point.
+            2 => {
+                let i = rng.next_below(bytes.len());
+                let garbage: Vec<u8> = (0..rng.next_below(32))
+                    .map(|_| rng.next_below(256) as u8)
+                    .collect();
+                bytes.splice(i..i, garbage);
+            }
+            // Pure random soup.
+            _ => {
+                bytes = (0..rng.next_below(256))
+                    .map(|_| rng.next_below(256) as u8)
+                    .collect();
+            }
+        }
+        let mut reader = BufReader::with_capacity(
+            1 + rng.next_below(16),
+            Torn {
+                data: &bytes,
+                pos: 0,
+                chunk: 1 + rng.next_below(13),
+            },
+        );
+        let mut buffers = ConnBuffers::new();
+        // The property: a typed outcome, never a panic, never an Err
+        // from in-memory bytes, and Ready frames exactly the declared
+        // body length.
+        match read_request(&mut reader, MAX_BODY, &mut buffers).expect("no io error possible") {
+            ReadOutcome::Ready(req) => {
+                let declared: usize = req
+                    .header("content-length")
+                    .map_or(0, |v| v.parse().expect("Ready implies parsable length"));
+                assert_eq!(req.body.len(), declared, "case {case}: misframed body");
+            }
+            ReadOutcome::Closed | ReadOutcome::Malformed(_) | ReadOutcome::TooLarge(_) => {}
+        }
+    }
+}

@@ -211,6 +211,216 @@ fn malformed_http_gets_400_not_a_hang() {
         let mut response = String::new();
         stream.read_to_string(&mut response).unwrap();
         assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+
+        // The protocol error never reached dispatch but is still
+        // visible in the telemetry's unmatched block.
+        let mut client = HttpClient::connect(addr).unwrap();
+        let (status, body) = client.request("GET", "/stats", b"").unwrap();
+        assert_eq!(status, 200);
+        let stats = parse_body(&body);
+        let unmatched = stats
+            .get("routes")
+            .and_then(JsonValue::as_array)
+            .unwrap()
+            .iter()
+            .find(|r| r.get("path").and_then(JsonValue::as_str) == Some("(unmatched)"))
+            .unwrap()
+            .clone();
+        assert!(
+            unmatched
+                .get("status")
+                .and_then(|s| s.get("4xx"))
+                .and_then(JsonValue::as_f64)
+                .unwrap()
+                >= 1.0,
+            "{}",
+            unmatched.render()
+        );
+    });
+}
+
+#[test]
+fn stats_endpoint_reports_per_route_counters() {
+    with_server(ServerConfig::default(), |addr| {
+        let mut client = HttpClient::connect(addr).unwrap();
+        let artifact = sparse_artifact(20, 5);
+        let (status, _) = client
+            .request("PUT", "/models/m", &artifact.to_bytes())
+            .unwrap();
+        assert_eq!(status, 201);
+        for node in 0..3 {
+            let body = format!(r#"{{"kind":"parents","node":{node}}}"#);
+            let (status, _) = client
+                .request("POST", "/models/m/query", body.as_bytes())
+                .unwrap();
+            assert_eq!(status, 200);
+        }
+        let (status, _) = client
+            .request("GET", "/definitely/not/a/route", b"")
+            .unwrap();
+        assert_eq!(status, 404);
+
+        let (status, body) = client.request("GET", "/stats", b"").unwrap();
+        assert_eq!(status, 200);
+        let stats = parse_body(&body);
+        let rows = stats.get("routes").and_then(JsonValue::as_array).unwrap();
+        let row = |method: &str, path: &str| {
+            rows.iter()
+                .find(|r| {
+                    r.get("method").and_then(JsonValue::as_str) == Some(method)
+                        && r.get("path").and_then(JsonValue::as_str) == Some(path)
+                })
+                .unwrap_or_else(|| panic!("no stats row for {method} {path}"))
+        };
+        let query_row = row("POST", "/models/{id}/query");
+        assert_eq!(
+            query_row.get("requests").and_then(JsonValue::as_f64),
+            Some(3.0)
+        );
+        assert_eq!(
+            query_row
+                .get("status")
+                .and_then(|s| s.get("2xx"))
+                .and_then(JsonValue::as_f64),
+            Some(3.0)
+        );
+        assert!(
+            query_row
+                .get("bytes_in")
+                .and_then(JsonValue::as_f64)
+                .unwrap()
+                > 0.0,
+            "query bodies were counted"
+        );
+        assert!(
+            query_row
+                .get("bytes_out")
+                .and_then(JsonValue::as_f64)
+                .unwrap()
+                > 0.0
+        );
+        let bucket = query_row
+            .get("max_latency_bucket_us")
+            .and_then(JsonValue::as_f64)
+            .unwrap();
+        assert!(
+            bucket == 0.0 || bucket.log2().fract() == 0.0,
+            "bucket {bucket} is not a power of two"
+        );
+        let upload_row = row("PUT", "/models/{id}");
+        assert_eq!(
+            upload_row.get("requests").and_then(JsonValue::as_f64),
+            Some(1.0)
+        );
+        let unmatched = row("*", "(unmatched)");
+        assert!(
+            unmatched
+                .get("requests")
+                .and_then(JsonValue::as_f64)
+                .unwrap()
+                >= 1.0
+        );
+        let totals = stats.get("totals").unwrap();
+        assert!(totals.get("requests").and_then(JsonValue::as_f64).unwrap() >= 5.0);
+        assert!(totals.get("2xx").and_then(JsonValue::as_f64).unwrap() >= 4.0);
+    });
+}
+
+#[test]
+fn models_listing_paginates_with_stable_total() {
+    with_server(ServerConfig::default(), |addr| {
+        let mut client = HttpClient::connect(addr).unwrap();
+        for name in ["a", "b", "c"] {
+            let artifact = sparse_artifact(10, 11);
+            let (status, _) = client
+                .request("PUT", &format!("/models/{name}"), &artifact.to_bytes())
+                .unwrap();
+            assert_eq!(status, 201);
+        }
+        let (status, body) = client
+            .request("GET", "/models?offset=1&limit=1", b"")
+            .unwrap();
+        assert_eq!(status, 200);
+        let listing = parse_body(&body);
+        let models = listing.get("models").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(models.len(), 1);
+        assert_eq!(models[0].get("id").and_then(JsonValue::as_str), Some("b"));
+        assert_eq!(listing.get("total").and_then(JsonValue::as_f64), Some(3.0));
+        assert_eq!(listing.get("offset").and_then(JsonValue::as_f64), Some(1.0));
+
+        // Window past the end: empty page, same total.
+        let (status, body) = client.request("GET", "/models?offset=9", b"").unwrap();
+        assert_eq!(status, 200);
+        let listing = parse_body(&body);
+        assert_eq!(
+            listing
+                .get("models")
+                .and_then(JsonValue::as_array)
+                .map(<[JsonValue]>::len),
+            Some(0)
+        );
+        assert_eq!(listing.get("total").and_then(JsonValue::as_f64), Some(3.0));
+
+        // Unknown / malformed params are typed 400s.
+        let (status, _) = client.request("GET", "/models?sort=id", b"").unwrap();
+        assert_eq!(status, 400);
+        let (status, _) = client.request("GET", "/models?limit=soon", b"").unwrap();
+        assert_eq!(status, 400);
+    });
+}
+
+#[test]
+fn queries_stay_live_during_registration_churn() {
+    let config = ServerConfig {
+        workers: 4,
+        ..ServerConfig::default()
+    };
+    with_server(config, |addr| {
+        let artifact = sparse_artifact(40, 21);
+        let bytes = artifact.to_bytes();
+        let mut setup = HttpClient::connect(addr).unwrap();
+        let (status, _) = setup.request("PUT", "/models/hot", &bytes).unwrap();
+        assert_eq!(status, 201);
+
+        std::thread::scope(|scope| {
+            // Writer: keep re-registering "hot" and churning a second id.
+            let writer_bytes = &bytes;
+            scope.spawn(move || {
+                let mut writer = HttpClient::connect(addr).unwrap();
+                for i in 0..30 {
+                    let (status, _) = writer.request("PUT", "/models/hot", writer_bytes).unwrap();
+                    assert_eq!(status, 201);
+                    let (status, _) = writer
+                        .request("PUT", "/models/spare", writer_bytes)
+                        .unwrap();
+                    assert_eq!(status, 201);
+                    if i % 2 == 1 {
+                        let (status, _) = writer.request("DELETE", "/models/spare", b"").unwrap();
+                        assert_eq!(status, 200);
+                    }
+                }
+            });
+            // Readers: every query during the churn answers 200 — a
+            // replacement never opens a not-found or blocking window.
+            for client_id in 0..3usize {
+                scope.spawn(move || {
+                    let mut client = HttpClient::connect(addr).unwrap();
+                    for i in 0..120usize {
+                        let node = (client_id * 17 + i) % 40;
+                        let body = format!(r#"{{"kind":"markov_blanket","node":{node}}}"#);
+                        let (status, response) = client
+                            .request("POST", "/models/hot/query", body.as_bytes())
+                            .unwrap();
+                        assert_eq!(
+                            status,
+                            200,
+                            "query during churn failed: {}",
+                            String::from_utf8_lossy(&response)
+                        );
+                    }
+                });
+            }
+        });
     });
 }
 

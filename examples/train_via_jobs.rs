@@ -16,7 +16,7 @@ use least_bn::graph::{erdos_renyi_dag, weighted_adjacency_dense, WeightRange};
 use least_bn::jobs::{JobQueue, JobRunner, JobService, QueueConfig, RunnerConfig};
 use least_bn::linalg::Xoshiro256pp;
 use least_bn::serve::json::{parse as parse_json, JsonValue};
-use least_bn::serve::{HttpClient, ModelRegistry, RouteExt, Server, ServerConfig};
+use least_bn::serve::{HttpClient, ModelRegistry, Server, ServerConfig};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -45,14 +45,13 @@ fn main() {
         Arc::clone(&registry),
         RunnerConfig::default(),
     );
-    let service: Arc<dyn RouteExt> = Arc::new(JobService::new(Arc::clone(&queue)));
-    let server = Server::bind_with_ext(
+    let mut server = Server::bind(
         "127.0.0.1:0",
         Arc::clone(&registry),
         ServerConfig::default(),
-        Some(service),
     )
     .expect("bind");
+    JobService::new(Arc::clone(&queue)).mount(server.router_mut());
     let addr = server.local_addr();
     let shutdown = server.shutdown_handle();
     println!("job server listening on {addr}");
